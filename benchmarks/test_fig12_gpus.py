@@ -1,0 +1,127 @@
+"""Fig. 12 reproduction: AIR Top-K / GridSelect / SOTA on A100, H100, A10.
+
+The paper runs N = 2^30, uniform distribution, on three boards and finds:
+
+* AIR Top-K is ~5x faster than SOTA on A100 and H100 and ~3x on A10;
+* GridSelect beats AIR for K <= 128 on A100/H100 and K <= 512 on A10;
+* AIR's time ratios across boards track their memory bandwidths
+  (0.6 / 1.555 / 3.35 TB/s) because it is memory-bound.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.bench import BASELINE_ALGORITHMS, format_table, format_time
+from repro.device import A10, A100, H100
+from repro.perf import simulate_topk
+
+from conftest import CAP, FULL
+
+N = 1 << 30
+K_GRID = [1 << p for p in ((3, 5, 7, 9, 11) if not FULL else range(3, 12))]
+SPECS = (A100, H100, A10)
+
+
+def best_baseline(spec, k):
+    times = []
+    for algo in BASELINE_ALGORITHMS:
+        try:
+            times.append(
+                simulate_topk(
+                    algo, distribution="uniform", n=N, k=k, spec=spec, cap=CAP
+                ).time
+            )
+        except Exception:
+            continue
+    return min(times)
+
+
+def run_grid():
+    rows = {}
+    for spec in SPECS:
+        for k in K_GRID:
+            air = simulate_topk(
+                "air_topk", distribution="uniform", n=N, k=k, spec=spec, cap=CAP
+            ).time
+            grid = simulate_topk(
+                "grid_select", distribution="uniform", n=N, k=k, spec=spec, cap=CAP
+            ).time
+            rows[(spec.name, k)] = (air, grid, best_baseline(spec, k))
+    return rows
+
+
+def test_fig12(benchmark, out_dir):
+    rows = benchmark.pedantic(run_grid, iterations=1, rounds=1)
+    print(f"\nFig. 12 reproduction — running time on different GPUs, N=2^30")
+    table = []
+    for spec in SPECS:
+        for k in K_GRID:
+            air, grid, sota = rows[(spec.name, k)]
+            table.append(
+                (
+                    spec.name,
+                    k,
+                    format_time(air),
+                    format_time(grid),
+                    format_time(sota),
+                    f"{sota / air:.2f}x",
+                )
+            )
+    print(
+        format_table(
+            ["GPU", "K", "AIR Top-K", "GridSelect", "SOTA", "AIR vs SOTA"], table
+        )
+    )
+    with (out_dir / "fig12_gpus.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["gpu", "k", "air_s", "grid_s", "sota_s"])
+        for (name, k), (air, grid, sota) in rows.items():
+            writer.writerow([name, k, air, grid, sota])
+
+    # AIR beats SOTA everywhere, by a factor of a few.  The paper reports
+    # ~5x on A100/H100; our virtual SOTA still contains a healthy
+    # RadixSelect at N = 2^30 (~2x behind AIR), where the paper's
+    # correctness filter appears to drop it — excluding it recovers the
+    # paper's magnitude (see EXPERIMENTS.md).
+    for (name, k), (air, grid, sota) in rows.items():
+        assert sota / air > 1.3, (name, k)
+    a100_ratio = max(rows[("A100", k)][2] / rows[("A100", k)][0] for k in K_GRID)
+    assert a100_ratio > 1.8
+
+    no_radix = min(
+        simulate_topk(
+            algo, distribution="uniform", n=N, k=K_GRID[0], spec=A100, cap=CAP
+        ).time
+        for algo in BASELINE_ALGORITHMS
+        if algo != "radix_select"
+    )
+    paper_style_ratio = no_radix / rows[("A100", K_GRID[0])][0]
+    print(
+        f"AIR vs SOTA on A100 at N=2^30: {a100_ratio:.2f}x including "
+        f"RadixSelect, {paper_style_ratio:.2f}x without it (paper: ~5x)"
+    )
+    assert paper_style_ratio > 2.5
+
+    # GridSelect wins at small K, loses at large K; the crossover K is
+    # higher on the A10 than on the A100 (paper: 512 vs 128)
+    def crossover(name):
+        for k in K_GRID:
+            air, grid, _ = rows[(name, k)]
+            if air < grid:
+                return k
+        return max(K_GRID) * 2
+
+    assert crossover("A10") >= crossover("A100")
+    assert rows[("A100", K_GRID[0])][1] < rows[("A100", K_GRID[0])][0]
+    assert rows[("A100", K_GRID[-1])][1] > rows[("A100", K_GRID[-1])][0]
+
+    # AIR time tracks memory bandwidth across boards (Sec. 5.4)
+    k = K_GRID[len(K_GRID) // 2]
+    air_a100 = rows[("A100", k)][0]
+    air_h100 = rows[("H100", k)][0]
+    air_a10 = rows[("A10", k)][0]
+    assert 1.6 < air_a100 / air_h100 < 2.7  # ~bandwidth ratio 2.15, paper: ~2x
+    assert 2.0 < air_a10 / air_a100 < 3.5  # bandwidth ratio 2.6, paper: ~3x

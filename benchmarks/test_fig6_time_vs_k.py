@@ -1,0 +1,100 @@
+"""Fig. 6 reproduction: running time vs K for fixed N, batch size 1.
+
+The paper's Fig. 6 is a 3x4 panel (three distributions x four N values)
+plotting every algorithm's running time as K sweeps 2^3..2^20.  This
+benchmark regenerates each panel as a table of simulated times and asserts
+the paper's headline observations:
+
+* sorting and partition-based methods are flat in K;
+* partial-sorting methods climb steeply with K (O(log^2 K) networks) and
+  drop out beyond their K caps (2048 for the Faiss family and GridSelect,
+  256 for Bitonic Top-K);
+* AIR Top-K is the fastest, or within a small factor of GridSelect at
+  small K.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ALL_ALGORITHMS, format_series_table, plot_sweep, sweep, write_csv
+
+from conftest import CAP, DISTRIBUTIONS, k_grid, n_grid_fig6
+
+
+def run_panel(distribution: str, n: int):
+    return sweep(
+        distributions=(distribution,),
+        ns=(n,),
+        ks=k_grid(),
+        batches=(1,),
+        cap=CAP,
+    )
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("n", n_grid_fig6())
+def test_fig6_panel(benchmark, distribution, n, out_dir):
+    result = benchmark.pedantic(
+        run_panel, args=(distribution, n), iterations=1, rounds=1
+    )
+    write_csv(
+        result.points,
+        out_dir / f"fig6_{distribution}_n{n.bit_length() - 1}.csv",
+    )
+    print(f"\nFig. 6 panel — {distribution}, N = 2^{n.bit_length() - 1}, batch 1")
+    print(
+        format_series_table(
+            result,
+            algos=ALL_ALGORITHMS,
+            distribution=distribution,
+            batch=1,
+            vary="k",
+            fixed={"n": n},
+            x_label="K",
+        )
+    )
+    print(
+        plot_sweep(
+            result,
+            algos=ALL_ALGORITHMS,
+            distribution=distribution,
+            batch=1,
+            vary="k",
+            fixed={"n": n},
+        )
+    )
+
+    # --- the paper's observations, asserted on the shape -----------------
+    ks = [k for k in k_grid() if k <= n]
+
+    def time_of(algo, k):
+        return result.time_of(algo, distribution, n, k, 1)
+
+    # partition-based methods are stable in K
+    for algo in ("air_topk", "sort", "radix_select"):
+        lo = time_of(algo, ks[0])
+        hi = time_of(algo, max(k for k in ks if k <= n))
+        assert hi < 4 * lo, f"{algo} should be near-flat in K"
+
+    # partial-sorting methods climb with K within their supported range
+    queue_ks = [k for k in ks if k <= 2048]
+    if len(queue_ks) >= 2 and n > 1 << 16:
+        assert time_of("block_select", queue_ks[-1]) > time_of(
+            "block_select", queue_ks[0]
+        )
+
+    # K caps produce the missing points of the paper's panels
+    if any(k > 2048 for k in ks):
+        assert time_of("warp_select", min(k for k in ks if k > 2048)) is None
+    if any(k > 256 for k in ks):
+        assert time_of("bitonic_topk", min(k for k in ks if k > 256)) is None
+
+    # AIR Top-K leads (GridSelect may edge it out at small K, Sec. 5.1)
+    for k in ks:
+        air = time_of("air_topk", k)
+        best_baseline = result.sota_time(distribution, n, k, 1)
+        if best_baseline is not None and n >= 1 << 15:
+            assert air <= best_baseline * 1.05, (
+                f"AIR should lead at N=2^{n.bit_length() - 1}, K={k}"
+            )

@@ -1,0 +1,92 @@
+"""Fig. 7 reproduction: running time vs N for fixed K, batch sizes 1 and 100.
+
+The paper's Fig. 7 is a 3x6 panel (three distributions x {K=32, 256, 32768}
+x {batch 1, 100}) plotting running time as N sweeps 2^11..2^30.  Asserted
+observations:
+
+* WarpSelect/BlockSelect curves rise much more sharply with N than the
+  others at batch 1 (limited parallelism — one warp/block);
+* partition-based baselines deteriorate under the radix-adversarial
+  distribution while AIR Top-K does not;
+* AIR Top-K and GridSelect lead at every large-N point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ALL_ALGORITHMS, format_series_table, plot_sweep, sweep, write_csv
+
+from conftest import BATCH100_N_CAP, CAP, DISTRIBUTIONS, k_grid_fig7, n_grid_fig7
+
+
+def run_panel(distribution: str, k: int, batch: int):
+    ns = [
+        n
+        for n in n_grid_fig7()
+        if n >= k and (batch == 1 or n <= BATCH100_N_CAP)
+    ]
+    return sweep(
+        distributions=(distribution,),
+        ns=ns,
+        ks=(k,),
+        batches=(batch,),
+        cap=CAP,
+    ), ns
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("k", k_grid_fig7())
+@pytest.mark.parametrize("batch", [1, 100])
+def test_fig7_panel(benchmark, distribution, k, batch, out_dir):
+    result, ns = benchmark.pedantic(
+        run_panel, args=(distribution, k, batch), iterations=1, rounds=1
+    )
+    write_csv(
+        result.points,
+        out_dir / f"fig7_{distribution}_k{k}_b{batch}.csv",
+    )
+    print(f"\nFig. 7 panel — {distribution}, K = {k}, batch {batch}")
+    print(
+        format_series_table(
+            result,
+            algos=ALL_ALGORITHMS,
+            distribution=distribution,
+            batch=batch,
+            vary="n",
+            fixed={"k": k},
+            x_label="N",
+        )
+    )
+    print(
+        plot_sweep(
+            result,
+            algos=ALL_ALGORITHMS,
+            distribution=distribution,
+            batch=batch,
+            vary="n",
+            fixed={"k": k},
+        )
+    )
+
+    def time_of(algo, n):
+        return result.time_of(algo, distribution, n, k, batch)
+
+    big = max(ns)
+    small = min(ns)
+
+    # AIR and GridSelect lead at the largest N
+    air = time_of("air_topk", big)
+    sota = result.sota_time(distribution, big, k, batch)
+    if sota is not None:
+        assert air < sota
+
+    # batch 1: single-block Faiss methods blow up with N
+    if batch == 1 and k <= 2048 and big >= 1 << 20:
+        block_growth = time_of("block_select", big) / time_of("block_select", small)
+        air_growth = air / time_of("air_topk", small)
+        assert block_growth > 3 * air_growth
+
+    # adversarial data hurts host-coordinated RadixSelect more than AIR
+    if distribution == "adversarial" and big >= 1 << 20:
+        assert time_of("radix_select", big) / air > 1.5

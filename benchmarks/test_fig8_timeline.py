@@ -1,0 +1,92 @@
+"""Fig. 8 reproduction: execution timelines of RadixSelect vs AIR Top-K.
+
+The paper profiles both methods at N = 2^23, K = 2048 and points at four
+contrasts, all reproduced and asserted here:
+
+1. RadixSelect's timeline has white spaces (host-device synchronisation,
+   CPU processing); AIR Top-K's is tight.
+2. RadixSelect transfers data between host and device (MemcpyHtoD /
+   MemcpyDtoH); AIR Top-K has no such exchange.
+3. AIR Top-K launches far fewer kernels.
+4. RadixSelect's CalculateOccurrence runs much longer than AIR's
+   iteration_fused_kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import topk
+from repro.datagen import generate
+
+N = 1 << 23
+K = 2048
+
+
+def run_both():
+    data = generate("uniform", N, seed=88)[0]
+    radix = topk(data, K, algo="radix_select")
+    air = topk(data, K, algo="air_topk")
+    return radix, air
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_both()
+
+
+def test_fig8_timelines(benchmark, runs, out_dir):
+    benchmark.pedantic(run_both, iterations=1, rounds=1)
+    radix, air = runs
+    print(f"\nFig. 8 reproduction — timelines at N=2^23, K={K} (uniform)")
+    print("\n-- RadixSelect " + "-" * 60)
+    print(radix.device.timeline.render())
+    print("\n-- AIR Top-K " + "-" * 62)
+    print(air.device.timeline.render())
+    print(
+        f"\nRadixSelect: {radix.time * 1e6:9.1f} us, "
+        f"{radix.device.counters.kernel_launches} kernels, "
+        f"{radix.device.counters.pcie_transfers} PCIe transfers, "
+        f"{radix.device.counters.syncs} syncs"
+    )
+    print(
+        f"AIR Top-K:   {air.time * 1e6:9.1f} us, "
+        f"{air.device.counters.kernel_launches} kernels, "
+        f"{air.device.counters.pcie_transfers} PCIe transfers, "
+        f"{air.device.counters.syncs - 1} syncs"
+    )
+    (out_dir / "fig8_timelines.txt").write_text(
+        "RadixSelect\n"
+        + radix.device.timeline.render()
+        + "\n\nAIR Top-K\n"
+        + air.device.timeline.render()
+        + "\n"
+    )
+    # chrome://tracing / Perfetto artifacts, the runnable analogue of the
+    # paper's profiler screenshot
+    from repro.device import write_chrome_trace
+
+    write_chrome_trace(radix.device, out_dir / "fig8_radix_select.trace.json")
+    write_chrome_trace(air.device, out_dir / "fig8_air_topk.trace.json")
+
+    # observation 1: white space vs tight
+    radix_idle = sum(b - a for a, b in radix.device.timeline.idle_gaps("gpu"))
+    air_idle = sum(b - a for a, b in air.device.timeline.idle_gaps("gpu"))
+    assert radix_idle / radix.time > 0.3, "RadixSelect GPU mostly waits on the host"
+    assert air_idle / air.time < 0.25, "AIR keeps the GPU fed"
+
+    # observation 2: PCIe traffic
+    assert radix.device.counters.pcie_transfers >= 6
+    assert air.device.counters.pcie_transfers == 0
+
+    # observation 3: kernel launches
+    assert air.device.counters.kernel_launches == 4
+    assert radix.device.counters.kernel_launches > air.device.counters.kernel_launches
+
+    # observation 4: RadixSelect spends longer in CalculateOccurrence than
+    # AIR spends in one fused kernel (which does the same read PLUS the
+    # previous iteration's filtering)
+    occurrence = radix.device.kernel_stats["CalculateOccurrence"]
+    fused = air.device.kernel_stats["iteration_fused_kernel(1)"]
+    assert occurrence.time > fused.time
+    assert radix.time / air.time > 2

@@ -1,0 +1,78 @@
+"""Table 3 reproduction: per-kernel Speed-of-Light analysis of AIR Top-K.
+
+The paper profiles AIR at N = 2^30, K = 2048 with Nsight Compute:
+
+==========================  ======  ==========  ===========
+kernel call                 time %  memory SOL  compute SOL
+==========================  ======  ==========  ===========
+iteration_fused_kernel(1)   49.29%  91.27%      31.43%
+iteration_fused_kernel(2)   50.30%  89.08%      44.69%
+iteration_fused_kernel(3)    0.29%   8.22%      20.92%
+last_filter_kernel           0.12%   4.68%      21.15%
+==========================  ======  ==========  ===========
+
+Reproduced conclusions: the first two fused kernels take ~all the time,
+split about evenly; both sit near the memory roofline with compute well
+below it — AIR Top-K is memory-bound (Sec. 5.2.1).
+"""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.bench import format_table
+from repro.perf import render_roofline, simulate_topk, sol_report
+
+from conftest import CAP
+
+N = 1 << 30
+K = 2048
+
+
+def run():
+    return simulate_topk("air_topk", distribution="uniform", n=N, k=K, cap=CAP)
+
+
+def test_table3(benchmark, out_dir):
+    run_result = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = sol_report(run_result.device)
+    print(f"\nTable 3 reproduction — AIR Top-K kernels at N=2^30, K={K}")
+    print(
+        format_table(
+            ["Kernel Call", "Time Percentage", "Memory SOL", "Compute SOL"],
+            [r.row() for r in rows],
+        )
+    )
+    print("\nroofline view (the same story as the SOL columns):")
+    print(render_roofline(run_result.device))
+    with (out_dir / "table3_kernel_sol.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["kernel", "time_pct", "memory_sol", "compute_sol"])
+        for r in rows:
+            writer.writerow(
+                [r.name, r.time_fraction, r.memory_sol, r.compute_sol]
+            )
+
+    by_name = {r.name: r for r in rows}
+    k1 = by_name["iteration_fused_kernel(1)"]
+    k2 = by_name["iteration_fused_kernel(2)"]
+    k3 = by_name["iteration_fused_kernel(3)"]
+    last = by_name["last_filter_kernel"]
+
+    # the first two calls take the bulk of the time, split about evenly
+    assert 0.40 < k1.time_fraction < 0.60
+    assert 0.40 < k2.time_fraction < 0.60
+    assert k3.time_fraction < 0.02
+    assert last.time_fraction < 0.02
+
+    # memory-bound: near the bandwidth roofline, compute well below
+    for k in (k1, k2):
+        assert k.memory_sol > 0.80, "paper: 89-91% memory SOL"
+        assert 0.20 < k.compute_sol < 0.60, "paper: 31-45% compute SOL"
+        assert k.compute_sol < k.memory_sol
+
+    # the tail kernels barely touch the machine
+    assert k3.memory_sol < 0.2
+    assert last.memory_sol < 0.2

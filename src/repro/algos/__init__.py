@@ -1,0 +1,30 @@
+"""The eight baseline top-k algorithms from the paper's Table 1."""
+
+from .base import RunContext, TopKAlgorithm, TopKResult, UnsupportedProblem
+from .registry import available_algorithms, get_algorithm
+from .sort_topk import SortTopK
+from .radix_select import RadixSelect
+from .warp_select import BlockSelect, WarpSelect
+from .bitonic_topk import BitonicTopK
+from .quick_select import QuickSelect
+from .bucket_select import BucketSelect
+from .sample_select import SampleSelect
+from .hybrid import DrTopKHybrid
+
+__all__ = [
+    "RunContext",
+    "TopKAlgorithm",
+    "TopKResult",
+    "UnsupportedProblem",
+    "available_algorithms",
+    "get_algorithm",
+    "SortTopK",
+    "RadixSelect",
+    "WarpSelect",
+    "BlockSelect",
+    "BitonicTopK",
+    "QuickSelect",
+    "BucketSelect",
+    "SampleSelect",
+    "DrTopKHybrid",
+]

@@ -1,0 +1,110 @@
+"""Bitonic Top-K (Shanbhag, Pirk, Madden) — partial sorting by halving.
+
+The input is cut into runs of ``k`` elements, each locally sorted; pairs of
+sorted runs are then repeatedly reduced to the k smaller of their union
+(one butterfly stage over the concatenation of one run with the reverse of
+the other, then a bitonic merge to re-sort), halving the data every phase
+until one run remains.  Workload per phase is half the previous one, giving
+the ~2N total the paper quotes, but every comparator depends on ``log^2 k``
+network stages, which is why the method's running time climbs steeply with
+k in Fig. 6 and why the published implementation caps k at 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunContext, TopKAlgorithm
+from .queue_common import sentinel_for
+from ..device import next_pow2, streaming_grid
+from ..perf import calibration as cal
+from ..primitives import (
+    comparator_count_merge,
+    comparator_count_sort,
+    merge_select_lower_with_payload,
+)
+
+
+class BitonicTopK(TopKAlgorithm):
+    """DrTopK-library Bitonic Top-K (k <= 256)."""
+
+    name = "bitonic_topk"
+    library = "DrTopK"
+    category = "partial sorting"
+    max_k = 256
+    batched_execution = False  # the reference kernel handles one problem
+
+    def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:
+        batch, n = ctx.keys.shape
+        device = ctx.device
+        kp = next_pow2(ctx.k)  # the network works on power-of-two runs
+        runs = -(-n // kp)
+        padded_len = runs * kp
+
+        sentinel = sentinel_for(ctx.keys.dtype)
+        keys = np.full((batch, padded_len), sentinel, dtype=ctx.keys.dtype)
+        keys[:, :n] = ctx.keys
+        idx = np.full((batch, padded_len), -1, dtype=np.int64)
+        idx[:, :n] = np.arange(n, dtype=np.int64)
+        keys = keys.reshape(batch, runs, kp)
+        idx = idx.reshape(batch, runs, kp)
+
+        # phase 0: locally sort every run of kp elements
+        order = np.argsort(keys, axis=2, kind="stable")
+        keys = np.take_along_axis(keys, order, axis=2)
+        idx = np.take_along_axis(idx, order, axis=2)
+        comps = runs * comparator_count_sort(kp)
+        for _ in range(batch):
+            device.launch_kernel(
+                "BitonicLocalSort",
+                grid_blocks=streaming_grid(
+                    device.spec, ctx.nominal_n, items_per_thread=4
+                ),
+                block_threads=256,
+                bytes_read=4.0 * n,
+                bytes_written=8.0 * n,
+                flops=cal.BITONIC_OPS_PER_COMPARATOR * comps,
+                fixed_dependent_cycles=cal.BITONIC_KERNEL_FIXED_CYCLES,
+            )
+
+        # merge-reduce phases: pair runs, keep the k smaller, re-sort
+        phase = 0
+        while keys.shape[1] > 1:
+            m = keys.shape[1]
+            if m % 2:
+                pad_k = np.full((batch, 1, kp), sentinel, dtype=keys.dtype)
+                pad_i = np.full((batch, 1, kp), -1, dtype=np.int64)
+                keys = np.concatenate([keys, pad_k], axis=1)
+                idx = np.concatenate([idx, pad_i], axis=1)
+                m += 1
+            a_k = keys[:, 0::2].reshape(-1, kp)
+            a_i = idx[:, 0::2].reshape(-1, kp)
+            b_k = keys[:, 1::2].reshape(-1, kp)
+            b_i = idx[:, 1::2].reshape(-1, kp)
+            low_k, low_i, _ = merge_select_lower_with_payload(a_k, a_i, b_k, b_i)
+            order = np.argsort(low_k, axis=1, kind="stable")
+            low_k = np.take_along_axis(low_k, order, axis=1)
+            low_i = np.take_along_axis(low_i, order, axis=1)
+            keys = low_k.reshape(batch, m // 2, kp)
+            idx = low_i.reshape(batch, m // 2, kp)
+
+            pairs = m // 2
+            elems = pairs * 2 * kp
+            comps = pairs * (kp + comparator_count_merge(kp))
+            phase += 1
+            for _ in range(batch):
+                device.launch_kernel(
+                    f"BitonicMergeReduce({phase})",
+                    grid_blocks=streaming_grid(
+                        device.spec,
+                        max(1, int(elems * device.scale)),  # nominal phase size
+                        items_per_thread=4,
+                    ),
+                    block_threads=256,
+                    bytes_read=8.0 * elems,
+                    bytes_written=8.0 * elems / 2,
+                    flops=cal.BITONIC_OPS_PER_COMPARATOR * comps,
+                    fixed_dependent_cycles=cal.BITONIC_KERNEL_FIXED_CYCLES,
+                )
+
+        return keys[:, 0, : ctx.k], idx[:, 0, : ctx.k]

@@ -1,0 +1,157 @@
+"""BucketSelect — partition by linear value buckets (Alabi et al.).
+
+Each iteration computes the candidate min/max on the device, splits the
+value range into 256 equal-width buckets, histograms the candidates, and
+keeps only the bucket containing the k-th element.  The bucket boundaries
+are derived from data statistics (unlike RadixSelect's data-independent
+digits, Sec. 2.2), which costs an extra reduction kernel and PCIe round
+trip per iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunContext, TopKAlgorithm
+from ..device import next_pow2, streaming_grid
+from ..perf import calibration as cal
+from ..primitives import (
+    comparator_count_sort,
+    digit_histogram,
+    find_target_bucket,
+    inclusive_scan,
+    partition_three_way,
+)
+
+
+class BucketSelect(TopKAlgorithm):
+    """GpuSelection-style BucketSelect with 256 linear buckets."""
+
+    name = "bucket_select"
+    library = "GpuSelection"
+    category = "partition-based"
+    max_k = None
+    batched_execution = False
+
+    num_buckets = 256
+    terminal_size = 1024
+    max_iterations = 64
+
+    def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:
+        batch, n = ctx.keys.shape
+        out_keys = np.empty((batch, ctx.k), dtype=np.uint32)
+        out_idx = np.empty((batch, ctx.k), dtype=np.int64)
+        for row in range(batch):
+            rk, ri = self._select_row(ctx, ctx.keys[row])
+            out_keys[row] = rk
+            out_idx[row] = ri
+        return out_keys, out_idx
+
+    def _bucket_of(
+        self, keys: np.ndarray, lo: np.uint64, hi: np.uint64
+    ) -> np.ndarray:
+        """Linear bucket index of each key within [lo, hi], in [0, 256)."""
+        span = np.uint64(hi) - np.uint64(lo) + np.uint64(1)
+        rel = keys.astype(np.uint64) - np.uint64(lo)
+        return (rel * np.uint64(self.num_buckets) // span).astype(np.uint32)
+
+    def _select_row(
+        self, ctx: RunContext, row_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        device = ctx.device
+        cand_keys = row_keys
+        cand_idx = np.arange(row_keys.shape[0], dtype=np.int64)
+        k_rem = ctx.k
+        won_keys: list[np.ndarray] = []
+        won_idx: list[np.ndarray] = []
+
+        for _ in range(self.max_iterations):
+            count = cand_keys.shape[0]
+            if k_rem == 0 or count <= max(self.terminal_size, k_rem):
+                break
+            grid = streaming_grid(
+                device.spec,
+                max(1, int(count * device.scale)),
+                items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
+            )
+            # min/max reduction to fix the bucket boundaries
+            lo = np.uint64(cand_keys.min())
+            hi = np.uint64(cand_keys.max())
+            device.launch_kernel(
+                "MinMaxReduce",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=4.0 * count,
+                bytes_written=8.0,
+                flops=2.0 * count,
+            )
+            device.synchronize("sync_minmax")
+            device.memcpy_d2h("MemcpyDtoH(minmax)", 8.0)
+            if lo == hi:
+                break  # all candidates equal: any k_rem of them are results
+
+            buckets = self._bucket_of(cand_keys, lo, hi)
+            hist = digit_histogram(buckets, self.num_buckets)
+            device.launch_kernel(
+                "BucketHistogram",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=4.0 * count,
+                bytes_written=self.num_buckets * 4.0,
+                flops=cal.HISTOGRAM_OPS_PER_ELEM * count,
+            )
+            device.synchronize("sync_hist")
+            device.memcpy_d2h("MemcpyDtoH(hist)", self.num_buckets * 4.0)
+            device.host_compute("host_scan", cal.HOST_SCAN_SECONDS)
+            # bucket offsets are scanned on the device before scattering
+            device.launch_kernel(
+                "ScanBucketOffsets",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=self.num_buckets * 4.0,
+                bytes_written=self.num_buckets * 4.0,
+                flops=float(self.num_buckets * 8),
+                scalable=False,
+            )
+            device.synchronize("sync_scan")
+            psum = inclusive_scan(hist)
+            target = int(find_target_bucket(psum, k_rem))
+
+            winners, survivors = partition_three_way(
+                cand_keys, cand_idx, buckets, target
+            )
+            device.launch_kernel(
+                "BucketFilter",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                # the reference implementation scatters the whole candidate
+                # array into grouped buckets, not only the surviving one
+                bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * count,
+                flops=cal.FILTER_OPS_PER_ELEM * count,
+            )
+            device.synchronize("sync_filter")
+            won_keys.append(winners.keys)
+            won_idx.append(winners.indices)
+            k_rem -= winners.count
+            cand_keys = survivors.keys
+            cand_idx = survivors.indices
+
+        if k_rem > 0:
+            count = cand_keys.shape[0]
+            order = np.argsort(cand_keys, kind="stable")[:k_rem]
+            won_keys.append(cand_keys[order])
+            won_idx.append(cand_idx[order])
+            device.launch_kernel(
+                "BucketTerminalSort",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                bytes_written=8.0 * k_rem,
+                flops=cal.OPS_PER_COMPARATOR
+                * comparator_count_sort(next_pow2(max(2, count))),
+            )
+            device.synchronize("sync_final")
+        keys = np.concatenate(won_keys)
+        idx = np.concatenate(won_idx)
+        return keys[: ctx.k], idx[: ctx.k]

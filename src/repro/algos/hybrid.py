@@ -1,0 +1,144 @@
+"""Dr. Top-K-style delegate hybrid (Gaihre et al., SC '21 — paper Sec. 2.2).
+
+The hybrid cuts the input into sub-ranges of size ``g``, computes each
+sub-range's best element (its *delegate*) with a cheap reduction, selects
+the top-k **delegates**, and runs the final top-k only over the k
+sub-ranges those delegates came from — ``k * g`` candidates instead of N.
+
+Soundness: if a sub-range S contains a top-k element x, at most k - 1
+other elements are at least as good as x, so fewer than k delegates can
+beat min(S) <= x — S's delegate is among the top-k delegates (ties
+resolved by selecting with <=, i.e. keeping k delegates).  Hence the k
+selected sub-ranges cover every top-k element.
+
+The paper treats Dr. Top-K as orthogonal to its contributions: it *needs*
+a base top-k algorithm and benefits from a fast one.  This implementation
+accepts any registered algorithm as the base, so the claim is testable
+(see benchmarks/test_ext_drtopk_hybrid.py).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import RunContext, TopKAlgorithm
+from ..device import streaming_grid
+from ..perf import calibration as cal
+
+
+class DrTopKHybrid(TopKAlgorithm):
+    """Delegate-centric hybrid over a configurable base top-k algorithm."""
+
+    name = "drtopk_hybrid"
+    library = "Dr.Top-K"
+    category = "hybrid"
+    max_k = None
+    batched_execution = False  # the reference processes one problem at a time
+
+    def __init__(self, *, base: str = "air_topk", delegate_size: int | None = None):
+        """``delegate_size`` is the sub-range length g; by default it is
+        chosen near sqrt(N / k), which balances the two selection phases
+        (N/g delegates against k*g final candidates)."""
+        from .registry import get_algorithm  # late: registry imports this module
+
+        if delegate_size is not None and delegate_size < 1:
+            raise ValueError(f"delegate_size must be >= 1, got {delegate_size}")
+        self.base = get_algorithm(base)
+        self.base_name = base
+        self.delegate_size = delegate_size
+
+    def supports(self, n: int, k: int) -> str | None:
+        # the base only ever selects over min(N/g, k) <= k... its own k cap
+        # still applies to the delegate selection (k delegates are selected)
+        return self.base.supports(n, k)
+
+    def _choose_g(self, n: int, k: int) -> int:
+        if self.delegate_size is not None:
+            return self.delegate_size
+        return max(1, int(math.sqrt(n / max(1, k))))
+
+    def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:
+        batch, n = ctx.keys.shape
+        out_keys = np.empty((batch, ctx.k), dtype=ctx.keys.dtype)
+        out_idx = np.empty((batch, ctx.k), dtype=np.int64)
+        for row in range(batch):
+            rk, ri = self._select_row(ctx, ctx.keys[row])
+            out_keys[row] = rk
+            out_idx[row] = ri
+        return out_keys, out_idx
+
+    def _base_select(
+        self, ctx: RunContext, keys: np.ndarray, k: int, nominal_n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the base algorithm on a key list, sharing our device."""
+        child = RunContext(
+            device=ctx.device,
+            keys=keys[None, :],
+            k=k,
+            nominal_n=max(nominal_n, keys.shape[0]),
+            nominal_k=k,
+            rng=ctx.rng,
+        )
+        child_keys, child_idx = self.base._run(child)
+        return child_keys[0], child_idx[0]
+
+    def _select_row(
+        self, ctx: RunContext, row_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        device = ctx.device
+        n = row_keys.shape[0]
+        k = ctx.k
+        g = self._choose_g(ctx.nominal_n, ctx.nominal_k)
+        num_ranges = -(-n // g)
+
+        if g <= 1 or num_ranges <= k:
+            # no reduction possible: delegate phase would keep everything
+            return self._base_select(ctx, row_keys, k, ctx.nominal_n)
+
+        # phase 1: per-sub-range minimum (the delegates) — one reduce kernel
+        pad = num_ranges * g - n
+        padded = np.concatenate(
+            [row_keys, np.full(pad, ~row_keys.dtype.type(0), dtype=row_keys.dtype)]
+        )
+        ranges = padded.reshape(num_ranges, g)
+        delegates = ranges.min(axis=1)
+        device.launch_kernel(
+            "ComputeDelegates",
+            grid_blocks=streaming_grid(
+                device.spec,
+                max(1, int(n * device.scale)),
+                items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
+            ),
+            block_threads=256,
+            bytes_read=4.0 * n,
+            bytes_written=4.0 * num_ranges,
+            flops=1.0 * n,
+        )
+
+        # phase 2: top-k of the delegates with the base algorithm
+        _, delegate_order = self._base_select(
+            ctx, delegates, k, max(1, ctx.nominal_n // g)
+        )
+
+        # phase 3: gather the k winning sub-ranges, final top-k over them
+        winners = np.sort(delegate_order)
+        candidates = ranges[winners].reshape(-1)
+        cand_base = winners * g  # original offset of each gathered range
+        device.launch_kernel(
+            "GatherCandidateRanges",
+            grid_blocks=streaming_grid(
+                device.spec, max(1, int(candidates.shape[0] * device.scale))
+            ),
+            block_threads=256,
+            bytes_read=4.0 * candidates.shape[0],
+            bytes_written=4.0 * candidates.shape[0],
+            flops=1.0 * candidates.shape[0],
+        )
+        final_keys, final_local = self._base_select(
+            ctx, candidates, k, max(1, ctx.nominal_k * g)
+        )
+        # local candidate positions -> original row positions
+        final_idx = cand_base[final_local // g] + (final_local % g)
+        return final_keys, final_idx

@@ -1,0 +1,137 @@
+"""QuickSelect — single-pivot partition-based selection (GpuSelection library).
+
+Each iteration partitions the candidates around one pivot and recurses into
+the side containing the k-th element.  The host inspects the partition
+counts after every iteration (a PCIe round trip, like all GpuSelection
+methods) and stops when the candidate set fits a single-block terminal sort.
+Worst-case O(N^2) if pivots are unlucky (Sec. 2.2); median-of-3 sampling
+makes that astronomically unlikely on the benchmark's distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunContext, TopKAlgorithm
+from ..device import next_pow2, streaming_grid
+from ..perf import calibration as cal
+from ..primitives import comparator_count_sort
+
+
+class QuickSelect(TopKAlgorithm):
+    """GpuSelection-style QuickSelect with host-side pivot control."""
+
+    name = "quick_select"
+    library = "GpuSelection"
+    category = "partition-based"
+    max_k = None
+    batched_execution = False
+
+    #: candidate count below which a single-block sort finishes the job
+    terminal_size = 1024
+    #: hard iteration cap (pathological pivot sequences)
+    max_iterations = 128
+
+    def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:
+        batch, n = ctx.keys.shape
+        out_keys = np.empty((batch, ctx.k), dtype=np.uint32)
+        out_idx = np.empty((batch, ctx.k), dtype=np.int64)
+        for row in range(batch):
+            rk, ri = self._select_row(ctx, ctx.keys[row])
+            out_keys[row] = rk
+            out_idx[row] = ri
+        return out_keys, out_idx
+
+    def _pivot(self, ctx: RunContext, cand: np.ndarray) -> np.uint32:
+        """Median of three random candidates (computed host-side)."""
+        picks = cand[ctx.rng.integers(0, cand.shape[0], size=3)]
+        return np.uint32(np.sort(picks)[1])
+
+    def _select_row(
+        self, ctx: RunContext, row_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        device = ctx.device
+        cand_keys = row_keys
+        cand_idx = np.arange(row_keys.shape[0], dtype=np.int64)
+        k_rem = ctx.k
+        won_keys: list[np.ndarray] = []
+        won_idx: list[np.ndarray] = []
+
+        for _ in range(self.max_iterations):
+            count = cand_keys.shape[0]
+            if k_rem == 0 or count <= max(self.terminal_size, k_rem):
+                break
+            pivot = self._pivot(ctx, cand_keys)
+            lt = cand_keys < pivot
+            eq = cand_keys == pivot
+            n_lt = int(lt.sum())
+            n_eq = int(eq.sum())
+
+            grid = streaming_grid(
+                device.spec,
+                max(1, int(count * device.scale)),
+                items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
+            )
+            # the reference code runs a counting pass, fetches the counts,
+            # then launches the scatter pass
+            device.launch_kernel(
+                "QuickSelectCount",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=4.0 * count,
+                bytes_written=8.0,
+                flops=2.0 * count,
+            )
+            device.synchronize("sync_count")
+            device.launch_kernel(
+                "QuickSelectScatter",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * count,
+                flops=cal.PARTITION_OPS_PER_ELEM * count,
+            )
+            device.synchronize("sync_partition")
+            device.memcpy_d2h("MemcpyDtoH(counts)", 8.0)
+            device.host_compute("host_pivot", cal.HOST_PIVOT_SECONDS)
+
+            if k_rem <= n_lt:
+                cand_idx = cand_idx[lt]
+                cand_keys = cand_keys[lt]
+            elif k_rem <= n_lt + n_eq:
+                won_keys.append(cand_keys[lt])
+                won_idx.append(cand_idx[lt])
+                take = k_rem - n_lt
+                won_keys.append(cand_keys[eq][:take])
+                won_idx.append(cand_idx[eq][:take])
+                k_rem = 0
+                break
+            else:
+                won_keys.append(cand_keys[lt])
+                won_idx.append(cand_idx[lt])
+                won_keys.append(cand_keys[eq])
+                won_idx.append(cand_idx[eq])
+                k_rem -= n_lt + n_eq
+                gt = ~(lt | eq)
+                cand_idx = cand_idx[gt]
+                cand_keys = cand_keys[gt]
+
+        if k_rem > 0:
+            # terminal single-block sort of the remaining candidates
+            count = cand_keys.shape[0]
+            order = np.argsort(cand_keys, kind="stable")[:k_rem]
+            won_keys.append(cand_keys[order])
+            won_idx.append(cand_idx[order])
+            device.launch_kernel(
+                "QuickSelectTerminalSort",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                bytes_written=8.0 * k_rem,
+                flops=cal.OPS_PER_COMPARATOR
+                * comparator_count_sort(next_pow2(max(2, count))),
+            )
+            device.synchronize("sync_final")
+        keys = np.concatenate(won_keys)
+        idx = np.concatenate(won_idx)
+        return keys[: ctx.k], idx[: ctx.k]

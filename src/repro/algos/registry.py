@@ -1,0 +1,69 @@
+"""Name -> algorithm registry covering the paper's full benchmark roster.
+
+The eight baselines of Table 1 plus the paper's two contributions, under
+the names the benchmark harness and figures use.
+"""
+
+from __future__ import annotations
+
+from .base import TopKAlgorithm
+from .hybrid import DrTopKHybrid
+from .sort_topk import SortTopK
+from .radix_select import RadixSelect
+from .warp_select import BlockSelect, WarpSelect
+from .bitonic_topk import BitonicTopK
+from .quick_select import QuickSelect
+from .bucket_select import BucketSelect
+from .sample_select import SampleSelect
+
+_FACTORIES: dict[str, type[TopKAlgorithm] | object] = {}
+
+
+def _register(factory) -> None:
+    name = factory().name if isinstance(factory, type) else factory.name
+    _FACTORIES[name] = factory
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names (the paper's 10-method roster)."""
+    _ensure_core()
+    return sorted(_FACTORIES)
+
+
+def get_algorithm(name: str, **kwargs) -> TopKAlgorithm:
+    """Instantiate an algorithm by registry name.
+
+    Keyword arguments are forwarded to the constructor (e.g.
+    ``get_algorithm("air_topk", adaptive=False)`` for the Fig. 9 ablation).
+    """
+    _ensure_core()
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        )
+    return _FACTORIES[name](**kwargs)
+
+
+def _ensure_core() -> None:
+    """Register the core contributions lazily (they import algos.base)."""
+    if "air_topk" in _FACTORIES:
+        return
+    from ..core.air_topk import AIRTopK
+    from ..core.grid_select import GridSelect
+
+    for factory in (AIRTopK, GridSelect):
+        _register(factory)
+
+
+for _factory in (
+    DrTopKHybrid,
+    SortTopK,
+    RadixSelect,
+    WarpSelect,
+    BlockSelect,
+    BitonicTopK,
+    QuickSelect,
+    BucketSelect,
+    SampleSelect,
+):
+    _register(_factory)

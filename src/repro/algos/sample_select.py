@@ -1,0 +1,158 @@
+"""SampleSelect — splitter-based partitioning (Ribizel & Anzt).
+
+Each iteration sorts a small random sample of the candidates on the device,
+picks evenly spaced splitters from it, assigns every candidate to a bucket
+by binary-searching the splitters, and recurses into the bucket containing
+the k-th element.  Sampling buys well-balanced buckets at the price of the
+extra sample-sort kernel and the per-element binary search (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunContext, TopKAlgorithm
+from ..device import next_pow2, streaming_grid
+from ..perf import calibration as cal
+from ..primitives import (
+    comparator_count_sort,
+    digit_histogram,
+    find_target_bucket,
+    inclusive_scan,
+    partition_three_way,
+)
+
+
+class SampleSelect(TopKAlgorithm):
+    """GpuSelection-style SampleSelect with 256 sampled splitters."""
+
+    name = "sample_select"
+    library = "GpuSelection"
+    category = "partition-based"
+    max_k = None
+    batched_execution = False
+
+    sample_size = 1024
+    num_buckets = 256
+    terminal_size = 1024
+    max_iterations = 64
+
+    def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:
+        batch, n = ctx.keys.shape
+        out_keys = np.empty((batch, ctx.k), dtype=np.uint32)
+        out_idx = np.empty((batch, ctx.k), dtype=np.int64)
+        for row in range(batch):
+            rk, ri = self._select_row(ctx, ctx.keys[row])
+            out_keys[row] = rk
+            out_idx[row] = ri
+        return out_keys, out_idx
+
+    def _splitters(self, ctx: RunContext, cand: np.ndarray) -> np.ndarray:
+        """Evenly spaced splitters from a sorted random sample."""
+        s = min(self.sample_size, cand.shape[0])
+        sample = np.sort(cand[ctx.rng.integers(0, cand.shape[0], size=s)])
+        # num_buckets - 1 interior splitters
+        picks = np.linspace(0, s - 1, self.num_buckets + 1)[1:-1]
+        return sample[picks.astype(np.int64)]
+
+    def _select_row(
+        self, ctx: RunContext, row_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        device = ctx.device
+        cand_keys = row_keys
+        cand_idx = np.arange(row_keys.shape[0], dtype=np.int64)
+        k_rem = ctx.k
+        won_keys: list[np.ndarray] = []
+        won_idx: list[np.ndarray] = []
+
+        for _ in range(self.max_iterations):
+            count = cand_keys.shape[0]
+            if k_rem == 0 or count <= max(self.terminal_size, k_rem):
+                break
+            grid = streaming_grid(
+                device.spec,
+                max(1, int(count * device.scale)),
+                items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
+            )
+            splitters = self._splitters(ctx, cand_keys)
+            s = min(self.sample_size, count)
+            device.launch_kernel(
+                "SampleGatherSort",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=4.0 * s,
+                bytes_written=4.0 * (self.num_buckets - 1),
+                flops=cal.OPS_PER_COMPARATOR
+                * comparator_count_sort(next_pow2(max(2, s))),
+                scalable=False,  # the sample size is fixed, not O(N)
+            )
+            buckets = np.searchsorted(splitters, cand_keys, side="right").astype(
+                np.uint32
+            )
+            hist = digit_histogram(buckets, self.num_buckets)
+            device.launch_kernel(
+                "SplitterHistogram",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=4.0 * count,
+                bytes_written=self.num_buckets * 4.0,
+                flops=cal.SPLITTER_SEARCH_OPS_PER_ELEM * count,
+            )
+            device.synchronize("sync_hist")
+            device.memcpy_d2h("MemcpyDtoH(hist)", self.num_buckets * 4.0)
+            device.host_compute("host_scan", cal.HOST_SCAN_SECONDS)
+            # bucket offsets are scanned on the device before scattering
+            device.launch_kernel(
+                "ScanBucketOffsets",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=self.num_buckets * 4.0,
+                bytes_written=self.num_buckets * 4.0,
+                flops=float(self.num_buckets * 8),
+                scalable=False,
+            )
+            device.synchronize("sync_scan")
+            psum = inclusive_scan(hist)
+            target = int(find_target_bucket(psum, k_rem))
+
+            winners, survivors = partition_three_way(
+                cand_keys, cand_idx, buckets, target
+            )
+            device.launch_kernel(
+                "SampleFilter",
+                grid_blocks=grid,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                # the reference implementation scatters the whole candidate
+                # array into grouped buckets, not only the surviving one
+                bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * count,
+                flops=cal.FILTER_OPS_PER_ELEM * count,
+            )
+            device.synchronize("sync_filter")
+            won_keys.append(winners.keys)
+            won_idx.append(winners.indices)
+            k_rem -= winners.count
+            prev = count
+            cand_keys = survivors.keys
+            cand_idx = survivors.indices
+            if cand_keys.shape[0] == prev:
+                break  # all candidates identical: splitters cannot split them
+
+        if k_rem > 0:
+            count = cand_keys.shape[0]
+            order = np.argsort(cand_keys, kind="stable")[:k_rem]
+            won_keys.append(cand_keys[order])
+            won_idx.append(cand_idx[order])
+            device.launch_kernel(
+                "SampleTerminalSort",
+                grid_blocks=1,
+                block_threads=256,
+                bytes_read=8.0 * count,
+                bytes_written=8.0 * k_rem,
+                flops=cal.OPS_PER_COMPARATOR
+                * comparator_count_sort(next_pow2(max(2, count))),
+            )
+            device.synchronize("sync_final")
+        keys = np.concatenate(won_keys)
+        idx = np.concatenate(won_idx)
+        return keys[: ctx.k], idx[: ctx.k]

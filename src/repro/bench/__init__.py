@@ -1,0 +1,44 @@
+"""Benchmark harness: sweeps, SOTA computation, Table 2 summary, reporting."""
+
+from .runner import (
+    ALL_ALGORITHMS,
+    BASELINE_ALGORITHMS,
+    OUR_ALGORITHMS,
+    BenchPoint,
+    SweepResult,
+    run_point,
+    sweep,
+)
+from .suite import PaperSuiteResult, run_paper_suite
+from .summary import SpeedupRange, Table2Row, speedup_range, table2
+from .ascii_plot import ascii_plot, plot_sweep
+from .report import (
+    format_series_table,
+    format_table,
+    format_time,
+    geomean,
+    write_csv,
+)
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "BASELINE_ALGORITHMS",
+    "OUR_ALGORITHMS",
+    "BenchPoint",
+    "SweepResult",
+    "run_point",
+    "sweep",
+    "PaperSuiteResult",
+    "run_paper_suite",
+    "SpeedupRange",
+    "Table2Row",
+    "speedup_range",
+    "table2",
+    "ascii_plot",
+    "plot_sweep",
+    "format_series_table",
+    "format_table",
+    "format_time",
+    "geomean",
+    "write_csv",
+]

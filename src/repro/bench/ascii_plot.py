@@ -1,0 +1,122 @@
+"""ASCII log-log line plots — textual renderings of the paper's figures.
+
+The paper's Fig. 6/7/9-13 are log-log running-time plots.  A terminal
+reproduction can't draw them, but an ASCII grid with one mark per
+algorithm preserves what the figures communicate: orderings, slopes and
+crossovers.  Used by the benchmark modules alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: marks assigned to series, in declaration order
+_MARKS = "ox+*#@%&^~st"
+
+
+def _log(value: float) -> float:
+    if value <= 0:
+        raise ValueError(f"log-log plots need positive values, got {value}")
+    return math.log10(value)
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float | None]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "time",
+    y_formatter=None,
+) -> str:
+    """Render named (x, y) series on a log-log ASCII grid.
+
+    ``series`` maps a label to its points; ``None`` y-values (unsupported
+    problem sizes — the gaps in the paper's figures) are skipped.  Returns
+    the plot followed by a legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    points = [
+        (x, y)
+        for pts in series.values()
+        for x, y in pts
+        if y is not None
+    ]
+    if not points:
+        return "(no data to plot)"
+    xs = [_log(x) for x, _ in points]
+    ys = [_log(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for mark, (label, pts) in zip(_MARKS, series.items()):
+        legend.append(f"{mark}={label}")
+        for x, y in pts:
+            if y is None:
+                continue
+            col = round((_log(x) - x_lo) / x_span * (width - 1))
+            row = round((_log(y) - y_lo) / y_span * (height - 1))
+            cell = grid[height - 1 - row]
+            # stack collisions by keeping the first mark (best series wins
+            # visual priority by declaration order)
+            if cell[col] == " ":
+                cell[col] = mark
+    if len(series) > len(_MARKS):
+        legend.append(f"(+{len(series) - len(_MARKS)} series beyond mark set)")
+
+    fmt = y_formatter or (lambda v: f"{v:.3g}")
+    top_label = fmt(10**y_hi)
+    bottom_label = fmt(10**y_lo)
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines = [f"{y_label}".rjust(gutter)]
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else (bottom_label if i == height - 1 else "")
+        lines.append(f"{prefix.rjust(gutter)}|{''.join(row)}|")
+    x_lo_label = _pow_label(10**x_lo)
+    x_hi_label = _pow_label(10**x_hi)
+    axis = f"{x_lo_label} {x_label} {x_hi_label}".center(width)
+    lines.append(" " * gutter + " " + axis)
+    lines.append(" " * gutter + " " + ", ".join(legend))
+    return "\n".join(lines)
+
+
+def _pow_label(x: float) -> str:
+    """Label x as 2^p when it is (close to) a power of two."""
+    if x > 0:
+        p = math.log2(x)
+        if abs(p - round(p)) < 1e-6:
+            return f"2^{round(p)}"
+    return f"{x:.3g}"
+
+
+def plot_sweep(
+    result,
+    *,
+    algos: Sequence[str],
+    distribution: str,
+    batch: int,
+    vary: str,
+    fixed: dict,
+    **kwargs,
+) -> str:
+    """ASCII plot of one figure panel straight from a SweepResult."""
+    series = {
+        algo: result.series(
+            algo, distribution=distribution, batch=batch, vary=vary, fixed=fixed
+        )
+        for algo in algos
+    }
+    return ascii_plot(
+        {k: v for k, v in series.items() if any(y is not None for _, y in v)},
+        x_label=vary.upper(),
+        y_formatter=lambda v: f"{v * 1e6:.3g}us",
+        **kwargs,
+    )

@@ -1,0 +1,116 @@
+"""Plain-text and CSV rendering of benchmark results.
+
+The benchmark scripts print the same rows and series the paper reports —
+these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .runner import BenchPoint, SweepResult
+
+
+def format_time(seconds: float | None) -> str:
+    """Human-readable simulated time (the figures use microseconds)."""
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    return "\n".join([line, sep, *body])
+
+
+def format_series_table(
+    result: SweepResult,
+    *,
+    algos: Sequence[str],
+    distribution: str,
+    batch: int,
+    vary: str,
+    fixed: dict,
+    x_label: str | None = None,
+) -> str:
+    """One figure panel as a table: x along rows, one column per algorithm.
+
+    This is the textual equivalent of one sub-figure of the paper's Fig. 6
+    (vary='k') or Fig. 7 (vary='n').
+    """
+    series = {
+        algo: dict(
+            result.series(
+                algo, distribution=distribution, batch=batch, vary=vary, fixed=fixed
+            )
+        )
+        for algo in algos
+    }
+    xs = sorted({x for s in series.values() for x in s})
+    headers = [x_label or vary.upper()] + list(algos)
+    rows = []
+    for x in xs:
+        row = [_pow2_label(x)]
+        for algo in algos:
+            row.append(format_time(series[algo].get(x)))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _pow2_label(x: int) -> str:
+    if x > 0 and x & (x - 1) == 0:
+        return f"2^{x.bit_length() - 1}"
+    return str(x)
+
+
+def write_csv(points: Iterable[BenchPoint], path: str | Path) -> Path:
+    """Dump benchmark points to CSV (one row per measurement)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["algo", "distribution", "n", "k", "batch", "time_s", "mode"]
+        )
+        for p in points:
+            writer.writerow(
+                [
+                    p.algo,
+                    p.distribution,
+                    p.n,
+                    p.k,
+                    p.batch,
+                    "" if p.time is None else f"{p.time:.9e}",
+                    p.mode,
+                ]
+            )
+    return path
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used for aggregate speedup reporting)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ValueError("geomean needs at least one positive value")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

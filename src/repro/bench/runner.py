@@ -1,0 +1,192 @@
+"""Benchmark sweep runner — the engine behind every figure and table.
+
+Runs grids of (algorithm, distribution, N, K, batch) points through
+:func:`repro.perf.simulate_topk`, records simulated times, and computes the
+paper's virtual SOTA baseline (the best prior algorithm per point,
+Sec. 5.1: "we regard the best performance of all previous algorithms for
+each combination of N, K, and batch size as ... SOTA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..algos import UnsupportedProblem
+from ..device import GPUSpec, A100
+from ..perf import DEFAULT_EXACT_CAP, simulate_topk
+
+#: the paper's contributions — excluded from the SOTA baseline
+OUR_ALGORITHMS = ("air_topk", "grid_select")
+
+#: the eight prior methods of Table 1
+BASELINE_ALGORITHMS = (
+    "sort",
+    "warp_select",
+    "block_select",
+    "bitonic_topk",
+    "quick_select",
+    "bucket_select",
+    "sample_select",
+    "radix_select",
+)
+
+ALL_ALGORITHMS = OUR_ALGORITHMS + BASELINE_ALGORITHMS
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One measured benchmark point (time is None when unsupported)."""
+
+    algo: str
+    distribution: str
+    n: int
+    k: int
+    batch: int
+    time: float | None
+    mode: str = "exact"
+
+    @property
+    def key(self) -> tuple[str, int, int, int]:
+        """Problem coordinates shared by all algorithms at this point."""
+        return (self.distribution, self.n, self.k, self.batch)
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with SOTA lookup helpers."""
+
+    points: list[BenchPoint] = field(default_factory=list)
+
+    def add(self, point: BenchPoint) -> None:
+        self.points.append(point)
+
+    def time_of(
+        self, algo: str, distribution: str, n: int, k: int, batch: int
+    ) -> float | None:
+        for p in self.points:
+            if (
+                p.algo == algo
+                and p.key == (distribution, n, k, batch)
+            ):
+                return p.time
+        return None
+
+    def sota_time(
+        self, distribution: str, n: int, k: int, batch: int
+    ) -> float | None:
+        """Best prior-algorithm time at a point (the paper's virtual SOTA)."""
+        times = [
+            p.time
+            for p in self.points
+            if p.algo in BASELINE_ALGORITHMS
+            and p.key == (distribution, n, k, batch)
+            and p.time is not None
+        ]
+        return min(times) if times else None
+
+    def keys(self) -> list[tuple[str, int, int, int]]:
+        """Distinct problem coordinates, in first-seen order."""
+        seen: dict[tuple[str, int, int, int], None] = {}
+        for p in self.points:
+            seen.setdefault(p.key, None)
+        return list(seen)
+
+    def series(
+        self, algo: str, *, distribution: str, batch: int, vary: str, fixed: dict
+    ) -> list[tuple[int, float | None]]:
+        """(x, time) series for one algorithm along the ``vary`` axis."""
+        if vary not in ("n", "k"):
+            raise ValueError(f"vary must be 'n' or 'k', got {vary!r}")
+        out = []
+        for p in self.points:
+            if p.algo != algo or p.distribution != distribution or p.batch != batch:
+                continue
+            if all(getattr(p, key) == val for key, val in fixed.items()):
+                out.append((getattr(p, vary), p.time))
+        return sorted(out)
+
+
+def run_point(
+    algo: str,
+    *,
+    distribution: str,
+    n: int,
+    k: int,
+    batch: int = 1,
+    spec: GPUSpec = A100,
+    cap: int = DEFAULT_EXACT_CAP,
+    seed: int = 0,
+    adversarial_m: int = 20,
+    **algo_kwargs,
+) -> BenchPoint:
+    """Measure one point; unsupported (n, k) yields ``time=None``."""
+    try:
+        run = simulate_topk(
+            algo,
+            distribution=distribution,
+            n=n,
+            k=k,
+            batch=batch,
+            spec=spec,
+            cap=cap,
+            seed=seed,
+            adversarial_m=adversarial_m,
+            **algo_kwargs,
+        )
+    except UnsupportedProblem:
+        return BenchPoint(
+            algo=algo, distribution=distribution, n=n, k=k, batch=batch, time=None
+        )
+    return BenchPoint(
+        algo=algo,
+        distribution=distribution,
+        n=n,
+        k=k,
+        batch=batch,
+        time=run.time,
+        mode=run.mode,
+    )
+
+
+def sweep(
+    *,
+    algos: Sequence[str] = ALL_ALGORITHMS,
+    distributions: Sequence[str] = ("uniform",),
+    ns: Iterable[int] = (1 << 20,),
+    ks: Iterable[int] = (256,),
+    batches: Iterable[int] = (1,),
+    spec: GPUSpec = A100,
+    cap: int = DEFAULT_EXACT_CAP,
+    seed: int = 0,
+    adversarial_m: int = 20,
+    progress=None,
+) -> SweepResult:
+    """Run the full cartesian grid; k > n points are skipped.
+
+    ``progress`` is an optional callable invoked with each finished
+    :class:`BenchPoint` (benchmark scripts use it for live output).
+    """
+    result = SweepResult()
+    for distribution in distributions:
+        for batch in batches:
+            for n in ns:
+                for k in ks:
+                    if k > n:
+                        continue
+                    for algo in algos:
+                        point = run_point(
+                            algo,
+                            distribution=distribution,
+                            n=n,
+                            k=k,
+                            batch=batch,
+                            spec=spec,
+                            cap=cap,
+                            seed=seed,
+                            adversarial_m=adversarial_m,
+                        )
+                        result.add(point)
+                        if progress is not None:
+                            progress(point)
+    return result

@@ -1,0 +1,113 @@
+"""Speedup summaries — the machinery behind the paper's Table 2.
+
+Table 2 reports, per (batch size, distribution), the min-max range over all
+(N, K) combinations of three speedup ratios:
+
+* AIR Top-K vs RadixSelect,
+* GridSelect vs BlockSelect,
+* AIR Top-K vs SOTA (the virtual best-of-baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runner import SweepResult
+
+
+@dataclass(frozen=True)
+class SpeedupRange:
+    """Min-max of a speedup ratio over a grid of problem sizes."""
+
+    low: float
+    high: float
+    points: int
+
+    def formatted(self) -> str:
+        if self.points == 0:
+            return "n/a"
+        return f"{self.low:.2f}-{self.high:.2f}"
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the Table 2 reproduction."""
+
+    batch: int
+    distribution: str
+    air_vs_radix: SpeedupRange
+    grid_vs_block: SpeedupRange
+    air_vs_sota: SpeedupRange
+
+
+def speedup_range(
+    result: SweepResult,
+    *,
+    numerator: str,
+    denominator: str,
+    distribution: str,
+    batch: int,
+) -> SpeedupRange:
+    """Range of ``time(numerator) / time(denominator)`` speedups.
+
+    Following the paper's convention the ratio is denominator-time over
+    numerator-time: "A vs B" means how many times faster A is than B.
+    Points where either algorithm is unsupported are skipped.
+    """
+    ratios: list[float] = []
+    for key in result.keys():
+        dist, n, k, b = key
+        if dist != distribution or b != batch:
+            continue
+        fast = result.time_of(numerator, dist, n, k, b)
+        slow = (
+            result.sota_time(dist, n, k, b)
+            if denominator == "sota"
+            else result.time_of(denominator, dist, n, k, b)
+        )
+        if fast is None or slow is None or fast <= 0:
+            continue
+        ratios.append(slow / fast)
+    if not ratios:
+        return SpeedupRange(low=float("nan"), high=float("nan"), points=0)
+    return SpeedupRange(low=min(ratios), high=max(ratios), points=len(ratios))
+
+
+def table2(
+    result: SweepResult,
+    *,
+    batches=(1, 100),
+    distributions=("uniform", "normal", "adversarial"),
+) -> list[Table2Row]:
+    """Build the Table 2 reproduction from a sweep covering its grid."""
+    rows: list[Table2Row] = []
+    for batch in batches:
+        for distribution in distributions:
+            rows.append(
+                Table2Row(
+                    batch=batch,
+                    distribution=distribution,
+                    air_vs_radix=speedup_range(
+                        result,
+                        numerator="air_topk",
+                        denominator="radix_select",
+                        distribution=distribution,
+                        batch=batch,
+                    ),
+                    grid_vs_block=speedup_range(
+                        result,
+                        numerator="grid_select",
+                        denominator="block_select",
+                        distribution=distribution,
+                        batch=batch,
+                    ),
+                    air_vs_sota=speedup_range(
+                        result,
+                        numerator="air_topk",
+                        denominator="sota",
+                        distribution=distribution,
+                        batch=batch,
+                    ),
+                )
+            )
+    return rows

@@ -1,0 +1,300 @@
+"""Command-line interface: run selections, comparisons and sweeps.
+
+Examples::
+
+    python -m repro topk --n 2^20 --k 100 --algo air_topk
+    python -m repro compare --n 2^22 --k 256 --distribution adversarial
+    python -m repro sweep --vary n --k 256 --points 2^12:2^26
+    python -m repro table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import available_algorithms
+from .bench import (
+    ALL_ALGORITHMS,
+    format_table,
+    format_time,
+    plot_sweep,
+    run_paper_suite,
+    sweep,
+    table2,
+)
+from .datagen import DISTRIBUTIONS
+from .device import PRESETS, get_spec
+from .perf import DEFAULT_EXACT_CAP, render_roofline, simulate_topk, sol_report
+
+
+def _size(text: str) -> int:
+    """Parse '1048576' or '2^20'."""
+    if "^" in text:
+        base, exp = text.split("^", 1)
+        return int(base) ** int(exp)
+    return int(text)
+
+
+def _size_range(text: str) -> list[int]:
+    """Parse '2^12:2^26' into the powers of two between the endpoints,
+    or a comma-separated explicit list."""
+    if ":" in text:
+        lo, hi = (_size(part) for part in text.split(":", 1))
+        if lo <= 0 or hi < lo:
+            raise argparse.ArgumentTypeError(f"bad range {text!r}")
+        points = []
+        p = 1 << (lo - 1).bit_length()
+        p = max(p, 1)
+        while p <= hi:
+            if p >= lo:
+                points.append(p)
+            p <<= 1
+        return points or [lo]
+    return [_size(part) for part in text.split(",")]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel top-k algorithms on a simulated GPU "
+            "(reproduction of Zhang et al., SC '23)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--n", type=_size, default=1 << 20, help="list length")
+        p.add_argument("--k", type=_size, default=256, help="results per problem")
+        p.add_argument("--batch", type=int, default=1, help="problems per run")
+        p.add_argument(
+            "--distribution",
+            choices=DISTRIBUTIONS,
+            default="uniform",
+        )
+        p.add_argument(
+            "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--cap",
+            type=_size,
+            default=DEFAULT_EXACT_CAP,
+            help="max elements materialised; larger runs use scaled execution",
+        )
+
+    p_topk = sub.add_parser("topk", help="run one algorithm on one problem")
+    add_common(p_topk)
+    p_topk.add_argument("--algo", choices=available_algorithms(), default="air_topk")
+    p_topk.add_argument("--largest", action="store_true")
+    p_topk.add_argument(
+        "--sol", action="store_true", help="print the per-kernel SOL table"
+    )
+    p_topk.add_argument(
+        "--timeline", action="store_true", help="print the execution timeline"
+    )
+    p_topk.add_argument(
+        "--roofline", action="store_true", help="print the roofline analysis"
+    )
+
+    p_cmp = sub.add_parser("compare", help="rank every algorithm on one problem")
+    add_common(p_cmp)
+
+    p_sweep = sub.add_parser("sweep", help="sweep N or K and plot the series")
+    add_common(p_sweep)
+    p_sweep.add_argument("--vary", choices=("n", "k"), default="n")
+    p_sweep.add_argument(
+        "--points",
+        type=_size_range,
+        default=None,
+        help="swept values, '2^12:2^26' or comma list",
+    )
+
+    p_t2 = sub.add_parser("table2", help="reproduce the paper's Table 2 (reduced grid)")
+    p_t2.add_argument("--cap", type=_size, default=DEFAULT_EXACT_CAP)
+    p_t2.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="run the paper's full Section-5 evaluation"
+    )
+    p_rep.add_argument("--cap", type=_size, default=DEFAULT_EXACT_CAP)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--full", action="store_true", help="paper-size grids")
+    p_rep.add_argument("--out", default=None, help="directory for CSV/txt output")
+
+    return parser
+
+
+def cmd_topk(args) -> int:
+    run = simulate_topk(
+        args.algo,
+        distribution=args.distribution,
+        n=args.n,
+        k=args.k,
+        batch=args.batch,
+        spec=get_spec(args.gpu),
+        cap=args.cap,
+        seed=args.seed,
+        largest=args.largest,
+    )
+    direction = "largest" if args.largest else "smallest"
+    print(
+        f"{args.algo}: {direction} {args.k} of {args.n:,} "
+        f"({args.distribution}, batch {args.batch}) on {args.gpu}"
+    )
+    print(f"simulated time: {format_time(run.time)}  [{run.mode} mode]")
+    c = run.device.counters
+    print(
+        f"kernels: {c.kernel_launches}, device traffic: "
+        f"{c.bytes_total / 1e6:.2f} MB, PCIe transfers: {c.pcie_transfers}, "
+        f"syncs: {c.syncs}"
+    )
+    if run.result is not None:
+        vals = run.result.values if run.result.values.ndim == 1 else run.result.values[0]
+        print(f"first results: {vals[: min(5, len(vals))]}")
+    if args.sol:
+        print("\nper-kernel Speed of Light:")
+        print(
+            format_table(
+                ["kernel", "time %", "memory SOL", "compute SOL"],
+                [r.row() for r in sol_report(run.device)],
+            )
+        )
+    if args.timeline:
+        print("\ntimeline:")
+        print(run.device.timeline.render())
+    if args.roofline:
+        print("\nroofline:")
+        print(render_roofline(run.device))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for algo in available_algorithms():
+        try:
+            run = simulate_topk(
+                algo,
+                distribution=args.distribution,
+                n=args.n,
+                k=args.k,
+                batch=args.batch,
+                spec=get_spec(args.gpu),
+                cap=args.cap,
+                seed=args.seed,
+            )
+        except Exception as exc:  # UnsupportedProblem etc.
+            rows.append((float("inf"), algo, "-", str(exc)[:40]))
+            continue
+        rows.append((run.time, algo, format_time(run.time), run.mode))
+    rows.sort()
+    print(
+        f"n={args.n:,} k={args.k} batch={args.batch} "
+        f"{args.distribution} on {args.gpu}:"
+    )
+    print(
+        format_table(
+            ["rank", "algorithm", "time", "mode/notes"],
+            [(i + 1, a, t, m) for i, (_, a, t, m) in enumerate(rows)],
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    points = args.points
+    if points is None:
+        points = (
+            [1 << p for p in range(12, 27, 2)]
+            if args.vary == "n"
+            else [1 << p for p in range(3, 12)]
+        )
+    ns = points if args.vary == "n" else (args.n,)
+    ks = points if args.vary == "k" else (args.k,)
+    result = sweep(
+        distributions=(args.distribution,),
+        ns=ns,
+        ks=ks,
+        batches=(args.batch,),
+        spec=get_spec(args.gpu),
+        cap=args.cap,
+        seed=args.seed,
+    )
+    fixed = {"k": args.k} if args.vary == "n" else {"n": args.n}
+    print(
+        plot_sweep(
+            result,
+            algos=ALL_ALGORITHMS,
+            distribution=args.distribution,
+            batch=args.batch,
+            vary=args.vary,
+            fixed=fixed,
+        )
+    )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    ns = [1 << p for p in (11, 15, 20, 25, 30)]
+    result = sweep(
+        distributions=("uniform", "normal", "adversarial"),
+        ns=ns,
+        ks=(32, 256, 32768),
+        batches=(1,),
+        cap=args.cap,
+        seed=args.seed,
+    )
+    batch100 = sweep(
+        distributions=("uniform", "normal", "adversarial"),
+        ns=[n for n in ns if n <= 1 << 24],
+        ks=(32, 256, 32768),
+        batches=(100,),
+        cap=args.cap,
+        seed=args.seed,
+    )
+    for p in batch100.points:
+        result.add(p)
+    rows = table2(result)
+    print(
+        format_table(
+            ["batch", "distribution", "AIR vs Radix", "Grid vs Block", "AIR vs SOTA"],
+            [
+                (
+                    r.batch,
+                    r.distribution,
+                    r.air_vs_radix.formatted(),
+                    r.grid_vs_block.formatted(),
+                    r.air_vs_sota.formatted(),
+                )
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    suite = run_paper_suite(
+        out_dir=args.out, cap=args.cap, full=args.full, seed=args.seed
+    )
+    print(suite.render())
+    return 0
+
+
+COMMANDS = {
+    "topk": cmd_topk,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "table2": cmd_table2,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The paper's contributions: AIR Top-K and GridSelect."""
+
+from .air_topk import AIRTopK, PassRecord
+from .grid_select import GridSelect, GridSelectStream
+
+__all__ = ["AIRTopK", "PassRecord", "GridSelect", "GridSelectStream"]

@@ -1,0 +1,29 @@
+"""Workload generators: the paper's synthetic distributions and ANN stand-ins."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    adversarial,
+    generate,
+    leading_bits_shared,
+)
+from .ann import (
+    DATASETS,
+    VectorDataset,
+    deep1b_like,
+    distance_array,
+    make_dataset,
+    sift_like,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "adversarial",
+    "generate",
+    "leading_bits_shared",
+    "DATASETS",
+    "VectorDataset",
+    "deep1b_like",
+    "sift_like",
+    "make_dataset",
+    "distance_array",
+]

@@ -1,0 +1,133 @@
+"""Synthetic stand-ins for the paper's real-world ANN datasets (Sec. 5.5).
+
+The paper feeds the top-k algorithms the *distance arrays* of approximate
+nearest neighbour search over DEEP1B (9.99M CNN descriptors, 96-d) and SIFT
+(1M local descriptors, 128-d).  Those datasets are multi-GB downloads that
+are unavailable offline, so we generate vector sets with the same
+dimensionality and the structural property that matters for top-k input:
+clustered embeddings whose query-to-base distance arrays are smooth,
+non-uniform, and concentrated — unlike the synthetic uniform/normal inputs
+of Sec. 5.1 (this is exactly why the paper adds the experiment).
+
+* ``deep1b_like`` — L2-normalised Gaussian-mixture vectors (DEEP descriptors
+  come from a CNN's last layer and are L2-normalised in the published set).
+* ``sift_like`` — non-negative, heavy-tailed integer-valued vectors in
+  [0, 255] (SIFT descriptors are quantised gradient histograms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device import Device
+from ..perf import calibration as cal
+
+
+@dataclass(frozen=True)
+class VectorDataset:
+    """A base vector set plus query vectors, mimicking an ANN benchmark."""
+
+    name: str
+    vectors: np.ndarray  # (num_vectors, dim) float32
+    queries: np.ndarray  # (num_queries, dim) float32
+
+    @property
+    def dim(self) -> int:
+        return int(self.vectors.shape[1])
+
+    @property
+    def num_vectors(self) -> int:
+        return int(self.vectors.shape[0])
+
+
+def _mixture(
+    rng: np.random.Generator, count: int, dim: int, centers: int, spread: float
+) -> np.ndarray:
+    """Gaussian-mixture embedding cloud."""
+    mu = rng.standard_normal((centers, dim), dtype=np.float32)
+    assign = rng.integers(0, centers, size=count)
+    noise = rng.standard_normal((count, dim), dtype=np.float32) * np.float32(spread)
+    return mu[assign] + noise
+
+
+def deep1b_like(
+    num_vectors: int = 100_000, *, num_queries: int = 16, dim: int = 96, seed: int = 0
+) -> VectorDataset:
+    """DEEP1B-like descriptors: 96-d, L2-normalised, clustered."""
+    rng = np.random.default_rng(seed)
+    base = _mixture(rng, num_vectors + num_queries, dim, centers=64, spread=0.35)
+    base /= np.linalg.norm(base, axis=1, keepdims=True).astype(np.float32)
+    return VectorDataset(
+        name="DEEP1B-like",
+        vectors=base[:num_vectors],
+        queries=base[num_vectors:],
+    )
+
+
+def sift_like(
+    num_vectors: int = 100_000, *, num_queries: int = 16, dim: int = 128, seed: int = 0
+) -> VectorDataset:
+    """SIFT-like descriptors: 128-d, non-negative, quantised to [0, 255]."""
+    rng = np.random.default_rng(seed)
+    base = np.abs(_mixture(rng, num_vectors + num_queries, dim, centers=32, spread=0.5))
+    base = np.clip(base * 64.0, 0.0, 255.0)
+    base = np.floor(base).astype(np.float32)
+    return VectorDataset(
+        name="SIFT-like",
+        vectors=base[:num_vectors],
+        queries=base[num_vectors:],
+    )
+
+
+DATASETS = {"deep1b": deep1b_like, "sift": sift_like}
+
+
+def make_dataset(name: str, num_vectors: int, *, seed: int = 0, **kwargs) -> VectorDataset:
+    """Dataset factory keyed by the paper's dataset names."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[key](num_vectors, seed=seed, **kwargs)
+
+
+def distance_array(
+    dataset: VectorDataset,
+    query_index: int = 0,
+    *,
+    subset: int | None = None,
+    device: Device | None = None,
+) -> np.ndarray:
+    """Squared-L2 distances from one query to (a subset of) the base vectors.
+
+    This is the top-k input of the paper's Sec. 5.5 pipeline.  When a
+    simulated ``device`` is given, the distance computation is accounted as
+    one kernel (a fused gemv-style pass), so end-to-end examples can show
+    selection cost in proportion to scoring cost.
+    """
+    if not 0 <= query_index < dataset.queries.shape[0]:
+        raise IndexError(
+            f"query_index {query_index} outside [0, {dataset.queries.shape[0]})"
+        )
+    vectors = dataset.vectors
+    if subset is not None:
+        if not 1 <= subset <= vectors.shape[0]:
+            raise ValueError(
+                f"subset must be in [1, {vectors.shape[0]}], got {subset}"
+            )
+        vectors = vectors[:subset]
+    q = dataset.queries[query_index]
+    diff = vectors - q
+    dists = np.einsum("ij,ij->i", diff, diff).astype(np.float32)
+    if device is not None:
+        n, d = vectors.shape
+        device.launch_kernel(
+            "ComputeDistances",
+            grid_blocks=max(1, n // (256 * cal.STREAM_ITEMS_PER_THREAD) or 1),
+            block_threads=256,
+            bytes_read=4.0 * n * d,
+            bytes_written=4.0 * n,
+            flops=3.0 * n * d,
+        )
+    return dists

@@ -1,0 +1,93 @@
+"""Synthetic input distributions used by the paper's benchmark (Sec. 5.1).
+
+Three families:
+
+* ``uniform`` — uniform in (0, 1],
+* ``normal`` — standard normal (mean 0, std 1),
+* ``adversarial`` — the radix-adversarial distribution: the first M bits of
+  every element's IEEE-754 pattern are identical (the paper uses M = 20 in
+  the main benchmark and M in {10, 20} for the Fig. 9 ablation).  The
+  shared prefix is that of 1.0f (0x3F800000), matching the paper's example
+  of values in [1.0, 1.00049].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: bit pattern whose leading bits every adversarial element shares
+_ADVERSARIAL_BASE = np.uint32(0x3F800000)
+
+#: distribution names accepted by :func:`generate`
+DISTRIBUTIONS = ("uniform", "normal", "adversarial")
+
+
+def generate(
+    distribution: str,
+    n: int,
+    *,
+    batch: int = 1,
+    seed: int = 0,
+    adversarial_m: int = 20,
+) -> np.ndarray:
+    """Generate a ``(batch, n)`` float32 benchmark input.
+
+    ``adversarial_m`` is the number of identical leading bits for the
+    radix-adversarial distribution (ignored otherwise).
+    """
+    if n <= 0 or batch <= 0:
+        raise ValueError(f"n and batch must be positive, got n={n}, batch={batch}")
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        # uniform over (0, 1]: flip [0, 1) around 1
+        return (1.0 - rng.random((batch, n), dtype=np.float32)).astype(np.float32)
+    if distribution == "normal":
+        return rng.standard_normal((batch, n), dtype=np.float32)
+    if distribution == "adversarial":
+        return adversarial(n, batch=batch, seed=seed, m=adversarial_m)
+    raise ValueError(
+        f"unknown distribution {distribution!r}; choose from {DISTRIBUTIONS}"
+    )
+
+
+def adversarial(
+    n: int, *, batch: int = 1, seed: int = 0, m: int = 20
+) -> np.ndarray:
+    """Radix-adversarial floats: first ``m`` bits identical across elements.
+
+    With the 1.0f base pattern the exponent bits are fixed for any m >= 9,
+    so every generated value is a normal float in [1.0, 2.0) — never NaN,
+    inf or a denormal.
+    """
+    if not 9 <= m <= 31:
+        raise ValueError(
+            f"m must be in [9, 31] so the fixed prefix pins the sign and "
+            f"exponent bits, got {m}"
+        )
+    rng = np.random.default_rng(seed)
+    free_bits = 32 - m
+    mask = np.uint32((1 << free_bits) - 1)
+    low = rng.integers(0, 1 << free_bits, size=(batch, n), dtype=np.uint32)
+    bits = (_ADVERSARIAL_BASE & ~mask) | low
+    return bits.view(np.float32)
+
+
+def leading_bits_shared(values: np.ndarray) -> int:
+    """Number of leading bit positions shared by every element.
+
+    Diagnostic used by tests to confirm the adversarial property.
+    """
+    bits = np.ascontiguousarray(values).view(np.uint32).ravel()
+    if bits.size == 0:
+        return 32
+    agree = ~(bits ^ bits[0])  # 1s where every element matches the first
+    combined = np.uint32(0xFFFFFFFF)
+    for chunk in np.array_split(agree, max(1, agree.size // (1 << 20))):
+        combined &= np.bitwise_and.reduce(chunk)
+    shared = 0
+    for pos in range(31, -1, -1):
+        if combined >> np.uint32(pos) & np.uint32(1):
+            shared += 1
+        else:
+            break
+    return shared

@@ -1,0 +1,35 @@
+"""Simulated GPU execution model (the substrate replacing real CUDA boards).
+
+See DESIGN.md section 2 for why this substitution preserves the paper's
+observable behaviour.
+"""
+
+from .spec import GPUSpec, A100, H100, A10, V100, PRESETS, get_spec
+from .counters import DeviceCounters, KernelStats
+from .timeline import Timeline, TraceEvent, STREAMS
+from .device import Device
+from .launch import Occupancy, occupancy, streaming_grid, ceil_div, next_pow2
+from .tracing import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "GPUSpec",
+    "A100",
+    "H100",
+    "A10",
+    "V100",
+    "PRESETS",
+    "get_spec",
+    "Device",
+    "DeviceCounters",
+    "KernelStats",
+    "Timeline",
+    "TraceEvent",
+    "STREAMS",
+    "Occupancy",
+    "occupancy",
+    "streaming_grid",
+    "ceil_div",
+    "next_pow2",
+    "chrome_trace",
+    "write_chrome_trace",
+]

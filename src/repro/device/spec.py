@@ -1,0 +1,182 @@
+"""Hardware descriptions of the simulated GPUs.
+
+The simulator prices work (bytes moved, FP32 operations, serial dependency
+chains, kernel launches, PCIe round trips) against a :class:`GPUSpec`.  The
+three presets correspond to the three boards used in the paper's evaluation
+(Section 5.4): NVIDIA A100 SXM, H100 SXM and A10.  Published datasheet values
+are used for structural parameters (SM count, bandwidth, clock); latency-type
+constants that NVIDIA does not publish (kernel-launch latency, PCIe round-trip
+latency) carry typical values measured in the literature and are documented in
+:mod:`repro.perf.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a simulated GPU board.
+
+    Parameters mirror what the paper's analysis actually depends on: device
+    memory bandwidth (AIR Top-K is memory bound, Sec. 5.2.1), SM count and
+    occupancy (the source of GridSelect's advantage over single-block
+    BlockSelect, Sec. 5.3), and host-link characteristics (the overheads the
+    iteration-fused design removes, Sec. 3.1).
+    """
+
+    name: str
+    #: number of streaming multiprocessors
+    sm_count: int
+    #: peak device-memory bandwidth in bytes/second
+    peak_bandwidth: float
+    #: peak FP32 throughput in FLOP/second
+    peak_fp32: float
+    #: SM clock in Hz (used to price serial dependency chains)
+    clock_hz: float
+    #: shared memory capacity per SM in bytes
+    shared_mem_per_sm: int = 164 * 1024
+    #: 32-bit registers per SM
+    registers_per_sm: int = 65536
+    #: maximum resident threads per SM
+    max_threads_per_sm: int = 2048
+    #: maximum threads per block
+    max_threads_per_block: int = 1024
+    #: threads per warp
+    warp_size: int = 32
+
+    # -- latency-type constants (see repro.perf.calibration for rationale) --
+    #: CPU-side cost of submitting one kernel launch, seconds
+    kernel_launch_latency: float = 1.5e-6
+    #: minimum device-side execution time of any kernel (scheduling tail)
+    kernel_tail_latency: float = 1.3e-6
+    #: cost of a host<->device synchronisation point, seconds
+    sync_latency: float = 6.0e-6
+    #: PCIe transfer setup latency (one direction), seconds
+    pcie_latency: float = 12.0e-6
+    #: effective PCIe bandwidth, bytes/second (Gen4 x16 for all presets)
+    pcie_bandwidth: float = 22e9
+
+    # -- efficiency/occupancy model ----------------------------------------
+    #: fraction of peak bandwidth a fully occupied streaming kernel achieves
+    mem_efficiency: float = 0.90
+    #: resident warps per SM needed to saturate device-memory bandwidth
+    warps_to_saturate_per_sm: float = 8.0
+    #: fraction of peak FP32 a well-shaped compute kernel achieves
+    compute_efficiency: float = 0.75
+    #: round-trip device-memory latency in SM cycles (prices small,
+    #: latency-bound transfers of under-occupied kernels)
+    mem_latency_cycles: float = 450.0
+    #: bytes one warp keeps in flight (outstanding requests * 128 B lines)
+    outstanding_bytes_per_warp: float = 2048.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ValueError(f"sm_count must be positive, got {self.sm_count}")
+        if self.peak_bandwidth <= 0 or self.peak_fp32 <= 0:
+            raise ValueError("peak_bandwidth and peak_fp32 must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_block % self.warp_size:
+            raise ValueError("max_threads_per_block must be a warp multiple")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def saturation_warps(self) -> float:
+        """Total resident warps that saturate device-memory bandwidth."""
+        return self.sm_count * self.warps_to_saturate_per_sm
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Streaming bandwidth of a fully occupied kernel, bytes/second."""
+        return self.peak_bandwidth * self.mem_efficiency
+
+    @property
+    def effective_fp32(self) -> float:
+        """FP32 throughput of a fully occupied compute kernel, FLOP/second."""
+        return self.peak_fp32 * self.compute_efficiency
+
+    def bandwidth_fraction(self, active_warps: float) -> float:
+        """Fraction of effective bandwidth available to ``active_warps``.
+
+        Bandwidth scales roughly linearly with resident warps until the
+        saturation point (Little's law applied to outstanding memory
+        requests); beyond saturation additional warps do not help.  This is
+        the mechanism behind the paper's observation that single-block
+        BlockSelect uses 1 of 108 SMs (Sec. 5.3).
+        """
+        if active_warps <= 0:
+            return 0.0
+        return min(1.0, active_warps / self.saturation_warps)
+
+    def compute_fraction(self, active_warps: float) -> float:
+        """Fraction of effective FP32 throughput available to ``active_warps``.
+
+        Compute saturates when every SM has at least ~4 warps to hide ALU
+        latency; the constant 4 is far below the occupancy limit of 64 warps
+        per SM because arithmetic pipelines are easier to fill than the
+        memory system.
+        """
+        if active_warps <= 0:
+            return 0.0
+        return min(1.0, active_warps / (self.sm_count * 4.0))
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Return a copy of the spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA A100 SXM4 80GB — the paper's primary evaluation board.
+A100 = GPUSpec(
+    name="A100",
+    sm_count=108,
+    peak_bandwidth=1.555e12,
+    peak_fp32=19.5e12,
+    clock_hz=1.41e9,
+    shared_mem_per_sm=164 * 1024,
+)
+
+#: NVIDIA H100 SXM5 — used in Sec. 5.4; ~2.15x the memory bandwidth of A100.
+H100 = GPUSpec(
+    name="H100",
+    sm_count=132,
+    peak_bandwidth=3.35e12,
+    peak_fp32=66.9e12,
+    clock_hz=1.98e9,
+    shared_mem_per_sm=228 * 1024,
+)
+
+#: NVIDIA A10 — the inference board in Sec. 5.4; 0.6 TB/s memory bandwidth.
+A10 = GPUSpec(
+    name="A10",
+    sm_count=72,
+    peak_bandwidth=0.6e12,
+    peak_fp32=31.2e12,
+    clock_hz=1.695e9,
+    shared_mem_per_sm=100 * 1024,
+)
+
+#: NVIDIA V100 SXM2 — the previous datacenter generation; not part of the
+#: paper's evaluation but useful for what-if projections.
+V100 = GPUSpec(
+    name="V100",
+    sm_count=80,
+    peak_bandwidth=0.9e12,
+    peak_fp32=15.7e12,
+    clock_hz=1.53e9,
+    shared_mem_per_sm=96 * 1024,
+)
+
+#: All preset boards, keyed by name (the paper evaluates A100, H100, A10).
+PRESETS: dict[str, GPUSpec] = {
+    spec.name: spec for spec in (A100, H100, A10, V100)
+}
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Look up a preset GPU spec by (case-insensitive) name."""
+    key = name.upper()
+    if key not in PRESETS:
+        raise KeyError(
+            f"unknown GPU preset {name!r}; available: {sorted(PRESETS)}"
+        )
+    return PRESETS[key]

@@ -1,0 +1,75 @@
+"""Chrome-trace export of simulated timelines.
+
+The paper's Fig. 8 is a profiler screenshot; the closest runnable artifact
+is a `chrome://tracing` / Perfetto file.  This module converts a
+:class:`repro.device.Timeline` into the Trace Event Format (the
+``traceEvents`` JSON consumed by chrome://tracing, Perfetto and speedscope),
+with one track per simulated stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .device import Device
+from .timeline import STREAMS, Timeline
+
+#: display order and human names of the tracks
+_TRACK_NAMES = {
+    "gpu": "GPU stream",
+    "cpu": "Host thread",
+    "pcie_h2d": "PCIe H2D",
+    "pcie_d2h": "PCIe D2H",
+}
+
+
+def chrome_trace(timeline: Timeline, *, device: Device | None = None) -> dict:
+    """Build a Trace-Event-Format dict from a timeline.
+
+    Durations are emitted in microseconds (the format's native unit).
+    When a ``device`` is given, its per-kernel counters are attached as
+    event ``args`` so the trace viewer shows bytes/FLOPs on hover.
+    """
+    events: list[dict] = []
+    for tid, stream in enumerate(STREAMS):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": _TRACK_NAMES.get(stream, stream)},
+            }
+        )
+        for event in timeline.stream_events(stream):
+            entry = {
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "name": event.name,
+                "ts": event.start * 1e6,
+                "dur": event.duration * 1e6,
+                "cat": stream,
+            }
+            if device is not None and event.name in device.kernel_stats:
+                stats = device.kernel_stats[event.name]
+                entry["args"] = {
+                    "launches": stats.launches,
+                    "bytes_read": stats.bytes_read,
+                    "bytes_written": stats.bytes_written,
+                    "flops": stats.flops,
+                }
+            events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    device: Device, path: str | Path
+) -> Path:
+    """Write a device's full trace as chrome://tracing JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chrome_trace(device.timeline, device=device)
+    path.write_text(json.dumps(payload, indent=1))
+    return path

@@ -1,0 +1,149 @@
+"""Analytic cost model: counted work -> simulated time.
+
+The model prices one kernel launch from four components and takes the
+critical-path maximum, which is the standard roofline treatment plus a
+latency term for serially dependent work:
+
+``duration = max(mem_time, compute_time, latency_time) + tail``
+
+* ``mem_time`` — device-memory bytes divided by the bandwidth available to
+  the launch's resident warps (linear ramp to saturation; this term is what
+  makes single-block BlockSelect ~2-3 orders of magnitude slower than a
+  grid-wide kernel at large N, Sec. 5.3 of the paper).
+* ``compute_time`` — FP32-equivalent operations divided by available
+  arithmetic throughput.
+* ``latency_time`` — a chain of serially dependent cycles on the kernel's
+  critical path (queue-based algorithms process their input in lockstep
+  rounds; each round's insert/compare work depends on the previous round's
+  threshold).
+* ``tail`` — fixed scheduling tail so no kernel is cheaper than the device's
+  minimum kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LaunchShape:
+    """Grid configuration of a kernel launch."""
+
+    grid_blocks: int
+    block_threads: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise ValueError(f"grid_blocks must be positive, got {self.grid_blocks}")
+        if self.block_threads <= 0:
+            raise ValueError(
+                f"block_threads must be positive, got {self.block_threads}"
+            )
+
+    def warps(self, warp_size: int) -> int:
+        """Total warps launched."""
+        return self.grid_blocks * -(-self.block_threads // warp_size)
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Priced execution of one kernel launch."""
+
+    duration: float
+    mem_time: float
+    compute_time: float
+    latency_time: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource bounds this launch ('memory', 'compute', 'latency')."""
+        best = max(self.mem_time, self.compute_time, self.latency_time)
+        if best == self.mem_time:
+            return "memory"
+        if best == self.compute_time:
+            return "compute"
+        return "latency"
+
+
+class KernelCostModel:
+    """Prices kernel launches against a :class:`repro.device.GPUSpec`."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+    def available_bandwidth(self, shape: LaunchShape, *, warp_efficiency: float = 1.0) -> float:
+        """Device-memory bandwidth available to a launch, bytes/second.
+
+        ``warp_efficiency`` models how well a warp keeps memory requests in
+        flight.  Per-thread-queue kernels (WarpSelect/BlockSelect) issue
+        dependent loads around their queue bookkeeping and achieve a fraction
+        of a streaming warp's bandwidth; the shared-queue two-step insertion
+        of GridSelect restores streaming behaviour (Sec. 4).
+        """
+        if not 0.0 < warp_efficiency <= 1.0:
+            raise ValueError(f"warp_efficiency must be in (0, 1], got {warp_efficiency}")
+        warps = shape.warps(self.spec.warp_size) * warp_efficiency
+        frac = self.spec.bandwidth_fraction(warps)
+        return self.spec.effective_bandwidth * frac
+
+    def available_compute(self, shape: LaunchShape) -> float:
+        """FP32 throughput available to a launch, FLOP/second."""
+        warps = shape.warps(self.spec.warp_size)
+        frac = self.spec.compute_fraction(warps)
+        return self.spec.effective_fp32 * frac
+
+    def price(
+        self,
+        shape: LaunchShape,
+        *,
+        bytes_read: float = 0.0,
+        bytes_written: float = 0.0,
+        flops: float = 0.0,
+        dependent_cycles: float = 0.0,
+        warp_efficiency: float = 1.0,
+    ) -> KernelCost:
+        """Price one kernel launch.
+
+        ``dependent_cycles`` is the length (in SM cycles) of the serially
+        dependent chain on the kernel's critical path; it is divided by the
+        clock only, never by parallelism, because by definition it cannot be
+        overlapped.
+        """
+        if min(bytes_read, bytes_written, flops, dependent_cycles) < 0:
+            raise ValueError("work quantities must be non-negative")
+        bw = self.available_bandwidth(shape, warp_efficiency=warp_efficiency)
+        nbytes = bytes_read + bytes_written
+        # the first burst rides a single memory round trip regardless of how
+        # throttled the kernel's sustained rate is: every launched warp fires
+        # its initial outstanding loads at once.  Only the remainder pays the
+        # occupancy-limited sustained bandwidth — this is what lets tiny
+        # problems finish in launch-latency time for single-block kernels
+        # (the near-1x small-N ratios of the paper's Table 2).
+        spec = self.spec
+        first_burst = shape.warps(spec.warp_size) * spec.outstanding_bytes_per_warp
+        sustained_bytes = max(0.0, nbytes - first_burst)
+        mem_time = 0.0
+        if nbytes > 0:
+            mem_time = spec.mem_latency_cycles / spec.clock_hz
+            if sustained_bytes > 0 and bw > 0:
+                mem_time += sustained_bytes / bw
+            mem_time = max(mem_time, nbytes / spec.effective_bandwidth)
+        comp = self.available_compute(shape)
+        compute_time = flops / comp if comp > 0 else 0.0
+        latency_time = dependent_cycles / self.spec.clock_hz
+        duration = (
+            max(mem_time, compute_time, latency_time)
+            + self.spec.kernel_tail_latency
+        )
+        return KernelCost(
+            duration=duration,
+            mem_time=mem_time,
+            compute_time=compute_time,
+            latency_time=latency_time,
+        )
+
+    def pcie_time(self, nbytes: float) -> float:
+        """Duration of one PCIe transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return self.spec.pcie_latency + nbytes / self.spec.pcie_bandwidth

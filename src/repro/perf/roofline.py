@@ -1,0 +1,89 @@
+"""Roofline analysis of simulated kernels.
+
+Table 3's "Speed of Light" story has a classical reading: plot each kernel
+at (arithmetic intensity, achieved throughput) under the device's roofline
+``min(peak_flops, intensity * peak_bandwidth)``.  This module computes the
+points and renders a textual roofline — the analysis a performance engineer
+would run on the paper's kernels to confirm AIR Top-K is memory-bound
+(Sec. 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device import Device, GPUSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel under the roofline."""
+
+    name: str
+    #: FLOP per byte of device traffic
+    intensity: float
+    #: achieved FLOP/s over the kernel's simulated time
+    achieved_flops: float
+    #: the roofline's ceiling at this intensity
+    ceiling_flops: float
+    #: 'memory' left of the ridge, 'compute' right of it
+    regime: str
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the ceiling at this intensity."""
+        if self.ceiling_flops <= 0:
+            return 0.0
+        return min(1.0, self.achieved_flops / self.ceiling_flops)
+
+
+def ridge_intensity(spec: GPUSpec) -> float:
+    """The device balance point in FLOP/byte (peak compute over peak BW)."""
+    return spec.peak_fp32 / spec.peak_bandwidth
+
+
+def roofline_points(device: Device) -> list[RooflinePoint]:
+    """Roofline coordinates of every kernel that did measurable work."""
+    spec = device.spec
+    ridge = ridge_intensity(spec)
+    points: list[RooflinePoint] = []
+    for stats in device.kernel_stats.values():
+        if stats.time <= 0 or stats.bytes_total <= 0:
+            continue
+        intensity = stats.flops / stats.bytes_total
+        ceiling = min(spec.peak_fp32, intensity * spec.peak_bandwidth)
+        points.append(
+            RooflinePoint(
+                name=stats.name,
+                intensity=intensity,
+                achieved_flops=stats.flops / stats.time,
+                ceiling_flops=ceiling,
+                regime="memory" if intensity < ridge else "compute",
+            )
+        )
+    return points
+
+
+def render_roofline(device: Device, *, width: int = 64) -> str:
+    """Text report: one row per kernel with its position under the roof."""
+    points = roofline_points(device)
+    if not points:
+        return "(no kernels with measurable work)"
+    spec = device.spec
+    ridge = ridge_intensity(spec)
+    lines = [
+        f"device: {spec.name}  "
+        f"(peak {spec.peak_fp32 / 1e12:.1f} TFLOP/s, "
+        f"{spec.peak_bandwidth / 1e12:.2f} TB/s, "
+        f"ridge at {ridge:.1f} FLOP/B)",
+        f"{'kernel':<28} {'FLOP/B':>8} {'achieved':>12} {'ceiling':>12} "
+        f"{'eff':>6}  regime",
+    ]
+    for p in sorted(points, key=lambda p: -p.achieved_flops):
+        bar = "#" * max(1, round(p.efficiency * 20))
+        lines.append(
+            f"{p.name:<28} {p.intensity:>8.2f} "
+            f"{p.achieved_flops / 1e12:>10.2f}T {p.ceiling_flops / 1e12:>10.2f}T "
+            f"{p.efficiency * 100:>5.1f}%  {p.regime:<7} |{bar:<20}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Speed-of-Light utilisation metrics (paper Table 3).
+
+Nsight Compute's "GPU Speed Of Light Throughput" reports the achieved
+fraction of peak memory and compute throughput per kernel.  The simulated
+equivalent divides each kernel's counted traffic/operations by its
+simulated time and the device peaks — the same definition, computed from
+the same quantities the profiler derives them from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device import Device
+
+
+@dataclass(frozen=True)
+class KernelSol:
+    """Per-kernel utilisation row, mirroring the paper's Table 3 columns."""
+
+    name: str
+    launches: int
+    #: fraction of the run's total kernel time spent in this kernel
+    time_fraction: float
+    #: achieved bytes/s over peak bandwidth
+    memory_sol: float
+    #: achieved FLOP/s over peak FP32 throughput
+    compute_sol: float
+
+    def row(self) -> tuple[str, str, str, str]:
+        """Formatted (name, time %, memory SOL, compute SOL)."""
+        return (
+            self.name,
+            f"{self.time_fraction * 100:.2f}%",
+            f"{self.memory_sol * 100:.2f}%",
+            f"{self.compute_sol * 100:.2f}%",
+        )
+
+
+def sol_report(device: Device) -> list[KernelSol]:
+    """Per-kernel SOL rows for a completed run, in launch order."""
+    total_time = sum(s.time for s in device.kernel_stats.values())
+    rows: list[KernelSol] = []
+    for stats in device.kernel_stats.values():
+        if stats.time <= 0:
+            continue
+        rows.append(
+            KernelSol(
+                name=stats.name,
+                launches=stats.launches,
+                time_fraction=stats.time / total_time if total_time else 0.0,
+                memory_sol=min(
+                    1.0, stats.bytes_total / stats.time / device.spec.peak_bandwidth
+                ),
+                compute_sol=min(
+                    1.0, stats.flops / stats.time / device.spec.peak_fp32
+                ),
+            )
+        )
+    return rows

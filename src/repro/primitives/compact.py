@@ -1,0 +1,76 @@
+"""Stream compaction — the filtering step of partition-based top-k.
+
+On the GPU this is a scan-based scatter (or atomic-append); here the result
+is computed with boolean masking while the caller accounts the corresponding
+memory traffic.  The helpers return both the compacted data and the byte
+volumes a scatter of that size produces, so call sites do not hand-compute
+them inconsistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Survivors of a filtering pass plus the traffic it generated."""
+
+    keys: np.ndarray
+    indices: np.ndarray
+    #: bytes written scattering the surviving keys and indices
+    bytes_written: float
+
+    @property
+    def count(self) -> int:
+        return int(self.keys.shape[0])
+
+
+def compact(
+    keys: np.ndarray,
+    indices: np.ndarray,
+    mask: np.ndarray,
+    *,
+    key_bytes: int = 4,
+    index_bytes: int = 4,
+) -> CompactionResult:
+    """Keep the entries where ``mask`` is true, preserving order.
+
+    ``indices`` carries original input positions alongside the keys, as
+    every practical top-k implementation must (Sec. 2.1).
+    """
+    if keys.shape != indices.shape or keys.shape != mask.shape:
+        raise ValueError(
+            f"shape mismatch: keys {keys.shape}, indices {indices.shape}, "
+            f"mask {mask.shape}"
+        )
+    if keys.ndim != 1:
+        raise ValueError("compact operates on 1-d candidate lists")
+    kept_keys = keys[mask]
+    kept_indices = indices[mask]
+    return CompactionResult(
+        keys=kept_keys,
+        indices=kept_indices,
+        bytes_written=float(kept_keys.shape[0]) * (key_bytes + index_bytes),
+    )
+
+
+def partition_three_way(
+    keys: np.ndarray,
+    indices: np.ndarray,
+    digits: np.ndarray,
+    target_digit: int,
+) -> tuple[CompactionResult, CompactionResult]:
+    """Split candidates by their digit relative to the target (Sec. 2.3 step 4).
+
+    Returns ``(winners, survivors)``: entries with a digit below the target
+    are guaranteed top-k results; entries equal to the target remain
+    candidates for the next iteration; entries above are discarded.
+    """
+    below = digits < target_digit
+    equal = digits == target_digit
+    winners = compact(keys, indices, below)
+    survivors = compact(keys, indices, equal)
+    return winners, survivors

@@ -1,0 +1,36 @@
+"""Digit histograms (Sec. 2.3, step 1 of every radix top-k iteration)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def digit_histogram(digits: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Frequencies of each digit value in ``[0, num_buckets)``.
+
+    Equivalent to the atomic-increment histogram a GPU kernel builds in
+    shared memory and reduces to device memory.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    digits = np.asarray(digits)
+    if digits.size and (digits.min() < 0 or digits.max() >= num_buckets):
+        raise ValueError(
+            f"digit values outside [0, {num_buckets}): "
+            f"min={digits.min()}, max={digits.max()}"
+        )
+    return np.bincount(digits.ravel(), minlength=num_buckets).astype(np.int64)
+
+
+def batched_digit_histogram(digits: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Per-row histograms for a 2-d array of digits, shape ``(rows, buckets)``."""
+    if digits.ndim != 2:
+        raise ValueError(f"expected 2-d digits, got shape {digits.shape}")
+    rows = digits.shape[0]
+    if digits.size and (digits.min() < 0 or digits.max() >= num_buckets):
+        raise ValueError(f"digit values outside [0, {num_buckets})")
+    # offset each row into its own bucket range so one bincount does all rows
+    offsets = (np.arange(rows, dtype=np.int64) * num_buckets)[:, None]
+    flat = (digits.astype(np.int64) + offsets).ravel()
+    counts = np.bincount(flat, minlength=rows * num_buckets)
+    return counts.reshape(rows, num_buckets)

@@ -1,0 +1,63 @@
+"""Prefix-sum (scan) primitives with device-style operation counts.
+
+Radix top-k needs an inclusive scan of a 2^b-entry histogram to locate the
+target digit (Sec. 2.3, step 2).  AIR Top-K performs this scan inside the
+fused kernel with a single thread block; the work estimate models the
+Hillis–Steele block scan such an implementation uses (n * log2(n) adds).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def inclusive_scan(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inclusive prefix sum along ``axis``."""
+    return np.cumsum(values, axis=axis)
+
+
+def exclusive_scan(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Exclusive prefix sum along ``axis`` (first element is 0)."""
+    inclusive = np.cumsum(values, axis=axis)
+    result = np.roll(inclusive, 1, axis=axis)
+    # zero the wrapped-around first slot
+    index = [slice(None)] * values.ndim
+    index[axis if axis >= 0 else values.ndim + axis] = 0
+    result[tuple(index)] = 0
+    return result
+
+
+def block_scan_ops(n: int) -> int:
+    """Adds performed by a Hillis–Steele block scan of ``n`` entries."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if n == 1:
+        return 0
+    return n * math.ceil(math.log2(n))
+
+
+def find_target_bucket(psum: np.ndarray, k: int | np.ndarray) -> np.ndarray | np.intp:
+    """Bucket index ``j`` with ``psum[j-1] < k <= psum[j]`` (Sec. 2.3, step 3).
+
+    ``psum`` is the inclusive prefix sum of a histogram; works on a single
+    histogram (1-d) or a batch of histograms (2-d, with ``k`` per row).
+    """
+    psum = np.asarray(psum)
+    if psum.ndim == 1:
+        k_arr = int(k)
+        if not 1 <= k_arr <= int(psum[-1]):
+            raise ValueError(
+                f"k={k_arr} outside [1, {int(psum[-1])}] covered by the histogram"
+            )
+        return np.searchsorted(psum, k_arr, side="left")
+    k_arr = np.asarray(k)
+    if k_arr.shape != (psum.shape[0],):
+        raise ValueError("batched k must have one entry per histogram row")
+    if np.any(k_arr < 1) or np.any(k_arr > psum[:, -1]):
+        raise ValueError("some k outside the range covered by its histogram")
+    out = np.empty(psum.shape[0], dtype=np.int64)
+    for row in range(psum.shape[0]):  # rows are few; columns are the long axis
+        out[row] = np.searchsorted(psum[row], k_arr[row], side="left")
+    return out

@@ -1,0 +1,77 @@
+"""Warp-level collective primitives, emulated lane-accurately.
+
+GridSelect's parallel two-step insertion (Sec. 4, Fig. 5) is built on the
+warp ballot: every lane announces whether it holds a qualified candidate,
+and each lane derives a unique storing position by counting the qualified
+lanes before it.  These helpers reproduce that computation bit-for-bit on
+boolean lane masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ballot(predicate: np.ndarray) -> int:
+    """Pack a warp's lane predicates into a ballot bitmask (lane 0 = bit 0)."""
+    predicate = np.asarray(predicate, dtype=bool)
+    if predicate.ndim != 1:
+        raise ValueError(f"expected 1-d lane predicates, got shape {predicate.shape}")
+    if predicate.size > 64:
+        raise ValueError(f"warp size above 64 is not supported, got {predicate.size}")
+    mask = 0
+    for lane in np.nonzero(predicate)[0]:
+        mask |= 1 << int(lane)
+    return mask
+
+
+def lane_rank(predicate: np.ndarray) -> np.ndarray:
+    """Number of qualified lanes strictly before each lane (exclusive rank).
+
+    This is ``__popc(ballot & lanemask_lt)`` in CUDA — the storing position
+    each qualified lane uses in the two-step insertion.
+    """
+    predicate = np.asarray(predicate, dtype=bool)
+    ranks = np.cumsum(predicate) - predicate
+    return ranks.astype(np.int64)
+
+
+def two_step_positions(
+    predicate: np.ndarray, queue_fill: int, queue_size: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Storing positions for one warp-wide insertion round (Fig. 5).
+
+    Given the qualification predicate of each lane, the current queue fill
+    and the queue capacity, returns:
+
+    * ``first_step`` — lanes that insert immediately (their position is below
+      the queue capacity),
+    * ``second_step`` — lanes that must wait for the flush and insert at
+      ``position - queue_size`` afterwards,
+    * ``new_fill`` — queue fill after the round completes (post-flush fill if
+      a flush happened).
+
+    A flush (bitonic sort + merge of the queue into the top-k results) is
+    required exactly when ``queue_fill + qualified > queue_size``... the
+    paper triggers it when the queue becomes full, i.e. when any lane's
+    position reaches capacity.
+    """
+    if not 0 <= queue_fill <= queue_size:
+        raise ValueError(
+            f"queue_fill must be within [0, {queue_size}], got {queue_fill}"
+        )
+    predicate = np.asarray(predicate, dtype=bool)
+    positions = queue_fill + lane_rank(predicate)
+    qualified = int(predicate.sum())
+    first_step = predicate & (positions < queue_size)
+    second_step = predicate & (positions >= queue_size)
+    total = queue_fill + qualified
+    if total >= queue_size:
+        new_fill = total - queue_size  # queue flushed once, remainder inserted
+        if new_fill > queue_size:
+            raise ValueError(
+                "more than one flush per round: warp size exceeds queue size"
+            )
+    else:
+        new_fill = total
+    return first_step, second_step, new_fill

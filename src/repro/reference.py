@@ -1,0 +1,125 @@
+"""Sequential reference selection — the CPU heap baseline of Sec. 2.2.
+
+The paper's related-work section notes that "heap is the typical data
+structure used for this purpose in a sequential algorithm, however, heap
+operations are difficult to parallelize" — which is what motivated
+WarpSelect in the first place.  This module implements that sequential
+algorithm for real: a bounded max-heap of (key, index) pairs scanned over
+the input once.
+
+It serves two roles:
+
+* an *independent* correctness oracle for the test suite (unlike
+  :mod:`repro.verify`, it shares no code with the sort-based checks), and
+* the classical O(N log k) single-thread reference that GPU top-k papers
+  measure their speedups against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .primitives import priority_keys
+
+
+class BoundedHeap:
+    """A max-heap of at most ``k`` (key, index) pairs, keeping the smallest.
+
+    Implemented on explicit arrays with sift-up/sift-down, exactly as a
+    textbook sequential top-k would be; ``pushes`` and ``sifts`` count the
+    work for complexity assertions.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._keys = np.empty(k, dtype=np.uint64)
+        self._idx = np.empty(k, dtype=np.int64)
+        self._size = 0
+        self.pushes = 0
+        self.sifts = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def threshold(self) -> int | None:
+        """Largest key currently kept, or None while filling."""
+        if self._size < self.k:
+            return None
+        return int(self._keys[0])
+
+    def offer(self, key: int, index: int) -> bool:
+        """Consider one element; returns True if it entered the heap."""
+        if self._size < self.k:
+            self._keys[self._size] = key
+            self._idx[self._size] = index
+            self._size += 1
+            self._sift_up(self._size - 1)
+            self.pushes += 1
+            return True
+        if key >= self._keys[0]:
+            return False
+        self._keys[0] = key
+        self._idx[0] = index
+        self._sift_down(0)
+        self.pushes += 1
+        return True
+
+    def _sift_up(self, pos: int) -> None:
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if self._keys[parent] >= self._keys[pos]:
+                break
+            self._swap(parent, pos)
+            pos = parent
+            self.sifts += 1
+
+    def _sift_down(self, pos: int) -> None:
+        while True:
+            left = 2 * pos + 1
+            right = left + 1
+            largest = pos
+            if left < self._size and self._keys[left] > self._keys[largest]:
+                largest = left
+            if right < self._size and self._keys[right] > self._keys[largest]:
+                largest = right
+            if largest == pos:
+                return
+            self._swap(pos, largest)
+            pos = largest
+            self.sifts += 1
+
+    def _swap(self, a: int, b: int) -> None:
+        self._keys[a], self._keys[b] = self._keys[b], self._keys[a]
+        self._idx[a], self._idx[b] = self._idx[b], self._idx[a]
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Kept (keys, indices), sorted ascending by key then index."""
+        order = np.lexsort(
+            (self._idx[: self._size], self._keys[: self._size])
+        )
+        return self._keys[: self._size][order], self._idx[: self._size][order]
+
+
+def heap_topk(
+    data: np.ndarray, k: int, *, largest: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential heap-based top-k: ``(values, indices)``, best first.
+
+    Same selection semantics as the simulated GPU algorithms (ties broken
+    arbitrarily, NaN never preferred).
+    """
+    data = np.asarray(data)
+    if data.ndim != 1:
+        raise ValueError(f"heap_topk takes a 1-d list, got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    keys = priority_keys(np.ascontiguousarray(data), largest=largest)
+    heap = BoundedHeap(k)
+    for i in range(n):
+        heap.offer(int(keys[i]), i)
+    _, indices = heap.items()
+    return data[indices], indices

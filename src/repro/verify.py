@@ -1,0 +1,101 @@
+"""Correctness checking of top-k outputs.
+
+The output contract (paper Sec. 2.1): a value list V and index list I of
+length k with ``L[I[i]] == V[i]`` and every selected value no worse than
+every non-selected value.  Ties at the k-th value may be broken
+arbitrarily, so verification compares multisets, not index sets.
+
+Comparison happens in the monotone key space of
+:func:`repro.primitives.encode`, which fixes one total order for the edge
+cases: ``-0.0 == 0.0`` and NaN sorts after every number in both selection
+directions (NaNs are only selected when k forces it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .primitives import priority_keys
+
+
+def oracle_topk_values(
+    data: np.ndarray, k: int, *, largest: bool = False
+) -> np.ndarray:
+    """Reference top-k values (sorted best-first) via full key sort.
+
+    Implements the library's NaN policy (never preferred); for NaN-free
+    data this equals a plain ``np.partition`` oracle.
+    """
+    data = np.asarray(data)
+    squeeze = data.ndim == 1
+    if squeeze:
+        data = data[None, :]
+    if not 1 <= k <= data.shape[1]:
+        raise ValueError(f"k={k} outside [1, {data.shape[1]}]")
+    keys = priority_keys(np.ascontiguousarray(data), largest=largest)
+    order = np.argsort(keys, axis=1, kind="stable")[:, :k]
+    out = np.take_along_axis(data, order, axis=1)
+    return out[0] if squeeze else out
+
+
+def check_topk(
+    data: np.ndarray,
+    values: np.ndarray,
+    indices: np.ndarray,
+    *,
+    largest: bool = False,
+) -> None:
+    """Raise AssertionError unless (values, indices) is a valid top-k output.
+
+    Checks, per problem row:
+
+    * shape agreement between values and indices,
+    * index validity: in range, unique, and ``data[i, indices] == values``
+      (bit-wise, NaNs included),
+    * key-multiset equality with a full-sort oracle (ties broken freely).
+    """
+    data = np.asarray(data)
+    values = np.asarray(values)
+    indices = np.asarray(indices)
+    squeeze = data.ndim == 1
+    if squeeze:
+        data = data[None, :]
+        values = values[None, :]
+        indices = indices[None, :]
+    if values.shape != indices.shape or values.ndim != 2:
+        raise AssertionError(
+            f"values {values.shape} and indices {indices.shape} must match"
+        )
+    batch, k = values.shape
+    if data.shape[0] != batch:
+        raise AssertionError(
+            f"batch mismatch: data has {data.shape[0]} rows, output {batch}"
+        )
+    n = data.shape[1]
+    if np.any(indices < 0) or np.any(indices >= n):
+        raise AssertionError("indices out of range")
+    sorted_idx = np.sort(indices, axis=1)
+    if np.any(sorted_idx[:, 1:] == sorted_idx[:, :-1]):
+        raise AssertionError("duplicate indices within a row")
+    gathered = np.take_along_axis(data, indices, axis=1)
+    same = (gathered == values) | _both_nan(gathered, values)
+    if not same.all():
+        raise AssertionError("data[indices] != values")
+
+    keys = priority_keys(np.ascontiguousarray(data), largest=largest)
+    got_keys = priority_keys(np.ascontiguousarray(values), largest=largest)
+    expect = np.sort(keys, axis=1)[:, :k]
+    got = np.sort(got_keys, axis=1)
+    if not np.array_equal(got, expect):
+        bad = int(np.nonzero((got != expect).any(axis=1))[0][0])
+        raise AssertionError(
+            f"row {bad}: selected multiset differs from oracle "
+            f"(first mismatch at position "
+            f"{int(np.nonzero(got[bad] != expect[bad])[0][0])})"
+        )
+
+
+def _both_nan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.dtype.kind != "f":
+        return np.zeros(a.shape, dtype=bool)
+    return np.isnan(a) & np.isnan(b)

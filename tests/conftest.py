@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import A100, Device
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic randomness for tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh simulated A100."""
+    return Device(A100)
+
+
+def random_floats(
+    rng: np.random.Generator, shape, *, specials: bool = False
+) -> np.ndarray:
+    """float32 test data, optionally salted with +-inf / NaN / +-0."""
+    data = rng.standard_normal(shape).astype(np.float32)
+    if specials:
+        flat = data.reshape(-1)
+        if flat.size >= 8:
+            flat[0] = np.inf
+            flat[1] = -np.inf
+            flat[2] = np.nan
+            flat[3] = 0.0
+            flat[4] = -0.0
+            flat[5] = np.float32(1e-42)  # denormal
+    return data

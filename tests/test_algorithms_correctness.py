@@ -1,0 +1,213 @@
+"""Cross-algorithm correctness: every method against the oracle.
+
+Exercises the full roster over the paper's three distributions, both
+selection directions, batched inputs, ties, special values and boundary
+k — each run checked with :func:`repro.verify.check_topk`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UnsupportedProblem, available_algorithms, check_topk, topk
+from repro.datagen import generate
+
+ALGOS = available_algorithms()
+
+#: largest k each algorithm supports (None = unlimited)
+MAX_K = {
+    "warp_select": 2048,
+    "block_select": 2048,
+    "grid_select": 2048,
+    "bitonic_topk": 256,
+}
+
+
+def supported(algo: str, k: int) -> bool:
+    cap = MAX_K.get(algo)
+    return cap is None or k <= cap
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("distribution", ["uniform", "normal", "adversarial"])
+def test_distributions(algo, distribution):
+    data = generate(distribution, 6000, seed=3)[0]
+    r = topk(data, 100, algo=algo)
+    check_topk(data, r.values, r.indices)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("k", [1, 2, 7, 255, 256, 2048])
+def test_k_values(algo, rng, k):
+    if not supported(algo, k):
+        pytest.skip(f"{algo} does not support k={k}")
+    data = rng.standard_normal(4096).astype(np.float32)
+    r = topk(data, k, algo=algo)
+    check_topk(data, r.values, r.indices)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_k_equals_n(algo, rng):
+    data = rng.standard_normal(200).astype(np.float32)
+    r = topk(data, 200, algo=algo)
+    check_topk(data, r.values, r.indices)
+    assert set(r.indices.tolist()) == set(range(200))
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_largest_mode(algo, rng):
+    data = rng.standard_normal(3000).astype(np.float32)
+    r = topk(data, 50, algo=algo, largest=True)
+    check_topk(data, r.values, r.indices, largest=True)
+    # best-first ordering: descending values
+    assert np.all(np.diff(r.values) <= 0)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_batched(algo, rng):
+    data = rng.standard_normal((7, 2500)).astype(np.float32)
+    r = topk(data, 64, algo=algo)
+    assert r.values.shape == (7, 64)
+    check_topk(data, r.values, r.indices)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_heavy_ties(algo, rng):
+    """Only 8 distinct values: the k-th value has many duplicates."""
+    data = rng.choice(
+        np.linspace(-1, 1, 8).astype(np.float32), size=5000
+    )
+    r = topk(data, 123, algo=algo)
+    check_topk(data, r.values, r.indices)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_all_equal(algo):
+    data = np.full(1000, 2.5, dtype=np.float32)
+    r = topk(data, 17, algo=algo)
+    check_topk(data, r.values, r.indices)
+    assert np.all(r.values == 2.5)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_special_values(algo, rng):
+    from .conftest import random_floats
+
+    data = random_floats(rng, 2000, specials=True)
+    for largest in (False, True):
+        r = topk(data, 40, algo=algo, largest=largest)
+        check_topk(data, r.values, r.indices, largest=largest)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_nan_never_preferred(algo, rng):
+    data = rng.standard_normal(500).astype(np.float32)
+    data[::7] = np.nan
+    r = topk(data, 10, algo=algo)
+    assert not np.any(np.isnan(r.values))
+    r = topk(data, 10, algo=algo, largest=True)
+    assert not np.any(np.isnan(r.values))
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_nan_selected_when_forced(algo):
+    data = np.array([np.nan, 1.0, np.nan, 2.0], dtype=np.float32)
+    r = topk(data, 4, algo=algo)
+    check_topk(data, r.values, r.indices)
+    assert np.isnan(r.values[-2:]).all()  # NaNs sort last
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_negative_and_denormal(algo):
+    data = np.array(
+        [1e-40, -1e-40, 0.0, -0.0, 3.0, -3.0, 1e-44, -1e-44], dtype=np.float32
+    )
+    r = topk(data, 3, algo=algo)
+    check_topk(data, r.values, r.indices)
+    assert r.values[0] == -3.0
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_adversarial_narrow_range(algo):
+    """The paper's radix-adversarial floats (first 20 bits identical)."""
+    data = generate("adversarial", 8192, seed=9, adversarial_m=20)[0]
+    r = topk(data, 77, algo=algo)
+    check_topk(data, r.values, r.indices)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_sorted_ascending_input(algo):
+    data = np.arange(3000, dtype=np.float32)
+    r = topk(data, 25, algo=algo)
+    assert np.array_equal(r.indices, np.arange(25))
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_sorted_descending_input(algo):
+    data = np.arange(3000, 0, -1).astype(np.float32)
+    r = topk(data, 25, algo=algo)
+    check_topk(data, r.values, r.indices)
+    assert np.array_equal(np.sort(r.indices), np.arange(2975, 3000))
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_k_one(algo, rng):
+    data = rng.standard_normal(777).astype(np.float32)
+    r = topk(data, 1, algo=algo)
+    assert r.values[0] == data.min()
+    assert data[r.indices[0]] == data.min()
+
+
+class TestInputValidation:
+    def test_k_zero(self):
+        with pytest.raises(ValueError):
+            topk(np.zeros(10, dtype=np.float32), 0)
+
+    def test_k_above_n(self):
+        with pytest.raises(ValueError):
+            topk(np.zeros(10, dtype=np.float32), 11)
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            topk(np.zeros(0, dtype=np.float32), 1)
+
+    def test_3d_input(self):
+        with pytest.raises(ValueError):
+            topk(np.zeros((2, 2, 2), dtype=np.float32), 1)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            topk(np.zeros(10, dtype=np.float32), 1, algo="turbo_select")
+
+    @pytest.mark.parametrize(
+        "algo,cap", [(a, c) for a, c in MAX_K.items()]
+    )
+    def test_unsupported_k_raises(self, algo, cap):
+        data = np.zeros(2 * cap + 2, dtype=np.float32)
+        with pytest.raises(UnsupportedProblem):
+            topk(data, cap + 1, algo=algo)
+
+    def test_result_time_positive(self, rng):
+        data = rng.standard_normal(100).astype(np.float32)
+        r = topk(data, 5)
+        assert r.time > 0
+        assert r.algo == "air_topk"
+
+
+class TestResultOrdering:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_best_first(self, algo, rng):
+        data = rng.standard_normal(2222).astype(np.float32)
+        r = topk(data, 33, algo=algo)
+        assert np.all(np.diff(r.values) >= 0)
+
+    def test_int_dtypes(self, rng):
+        data = rng.integers(-1000, 1000, 5000).astype(np.int32)
+        r = topk(data, 20, algo="air_topk")
+        assert np.array_equal(r.values, np.sort(data)[:20])
+
+    def test_float64(self, rng):
+        data = rng.standard_normal(3000)
+        r = topk(data, 20, algo="sort")
+        assert np.array_equal(r.values, np.sort(data)[:20])

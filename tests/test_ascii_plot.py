@@ -1,0 +1,107 @@
+"""Tests for the ASCII log-log plotter used by the figure benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_plot, plot_sweep, sweep
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            {"a": [(1, 1e-6), (10, 1e-5)], "b": [(1, 2e-6), (10, 2e-5)]},
+            width=40,
+            height=8,
+        )
+        assert "o=a" in out and "x=b" in out
+        assert out.count("|") >= 16  # bordered rows
+
+    def test_monotone_series_has_monotone_marks(self):
+        out = ascii_plot({"a": [(1, 1e-6), (100, 1e-4)]}, width=30, height=10)
+        rows = [line for line in out.splitlines() if line.endswith("|")]
+        first_cols = [row.find("o") for row in rows if "o" in row]
+        # growing series: top rows (large y) hold later x positions, so
+        # marks move left as we scan down the grid
+        assert first_cols == sorted(first_cols, reverse=True)
+
+    def test_none_values_skipped(self):
+        out = ascii_plot(
+            {"a": [(1, 1e-6), (10, None), (100, 1e-4)]}, width=30, height=8
+        )
+        assert "o=a" in out
+
+    def test_all_none_series_plot(self):
+        out = ascii_plot({"a": [(1, None)]})
+        assert out == "(no data to plot)"
+
+    def test_power_of_two_axis_labels(self):
+        out = ascii_plot({"a": [(1024, 1e-6), (4096, 2e-6)]}, width=30, height=6)
+        assert "2^10" in out and "2^12" in out
+
+    def test_y_formatter(self):
+        out = ascii_plot(
+            {"a": [(1, 1e-6), (2, 1e-3)]},
+            width=20,
+            height=5,
+            y_formatter=lambda v: f"{v * 1e6:.0f}us",
+        )
+        assert "us" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(1, 1e-6)]}, width=4)
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 1e-6), (1, 1e-5)]})  # non-positive x
+
+    def test_single_point(self):
+        out = ascii_plot({"a": [(8, 1e-6)]}, width=20, height=5)
+        assert "o" in out
+
+    def test_many_series_legend_overflow(self):
+        series = {f"s{i}": [(1, 1e-6 * (i + 1))] for i in range(15)}
+        out = ascii_plot(series, width=30, height=8)
+        assert "beyond mark set" in out
+
+
+class TestPlotSweep:
+    def test_end_to_end(self):
+        res = sweep(
+            algos=("air_topk", "sort"),
+            distributions=("uniform",),
+            ns=(1 << 12, 1 << 14, 1 << 16),
+            ks=(64,),
+            batches=(1,),
+            cap=1 << 17,
+        )
+        out = plot_sweep(
+            res,
+            algos=("air_topk", "sort"),
+            distribution="uniform",
+            batch=1,
+            vary="n",
+            fixed={"k": 64},
+        )
+        assert "o=air_topk" in out and "x=sort" in out
+        assert "N" in out
+
+    def test_unsupported_series_dropped(self):
+        res = sweep(
+            algos=("air_topk", "bitonic_topk"),
+            distributions=("uniform",),
+            ns=(1 << 12,),
+            ks=(512,),  # beyond bitonic's 256 cap
+            batches=(1,),
+            cap=1 << 14,
+        )
+        out = plot_sweep(
+            res,
+            algos=("air_topk", "bitonic_topk"),
+            distribution="uniform",
+            batch=1,
+            vary="n",
+            fixed={"k": 512},
+        )
+        assert "bitonic" not in out

@@ -1,0 +1,163 @@
+"""Tests for the bitonic sorting/merging networks and their op counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import (
+    bitonic_merge,
+    bitonic_sort,
+    comparator_count_merge,
+    comparator_count_sort,
+    merge_select_lower,
+    merge_select_lower_with_payload,
+)
+
+
+class TestComparatorCounts:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 1), (4, 6), (8, 24), (16, 80), (32, 240), (1024, 28160)],
+    )
+    def test_sort_closed_form(self, n, expected):
+        assert comparator_count_sort(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (4, 4), (8, 12), (32, 80)])
+    def test_merge_closed_form(self, n, expected):
+        assert comparator_count_merge(n) == expected
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            comparator_count_sort(bad)
+        with pytest.raises(ValueError):
+            comparator_count_merge(bad)
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 128, 512])
+    def test_matches_npsort(self, rng, n):
+        rows = rng.standard_normal((7, n)).astype(np.float32)
+        out, _, comps = bitonic_sort(rows)
+        assert np.array_equal(out, np.sort(rows, axis=1))
+        assert comps == comparator_count_sort(n)
+
+    def test_network_executes_exact_comparator_count(self, rng):
+        rows = rng.integers(0, 1000, size=(3, 64)).astype(np.uint32)
+        _, _, comps = bitonic_sort(rows)
+        assert comps == comparator_count_sort(64) == 672
+
+    def test_payload_follows_keys(self, rng):
+        rows = rng.standard_normal((4, 16)).astype(np.float32)
+        payload = np.tile(np.arange(16), (4, 1))
+        out, pay, _ = bitonic_sort(rows, payload)
+        for r in range(4):
+            assert np.allclose(rows[r][pay[r]], out[r])
+
+    def test_input_unmodified(self, rng):
+        rows = rng.standard_normal((2, 8)).astype(np.float32)
+        snapshot = rows.copy()
+        bitonic_sort(rows)
+        assert np.array_equal(rows, snapshot)
+
+    def test_duplicates(self):
+        rows = np.array([[3, 1, 3, 1, 2, 2, 0, 0]], dtype=np.uint32)
+        out, _, _ = bitonic_sort(rows)
+        assert np.array_equal(out[0], np.array([0, 0, 1, 1, 2, 2, 3, 3]))
+
+    def test_rejects_non_power_of_two_rows(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            bitonic_sort(np.zeros((4,), dtype=np.float32))
+
+    def test_rejects_mismatched_payload(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(np.zeros((2, 4)), np.zeros((2, 8)))
+
+
+class TestBitonicMerge:
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_sorts_bitonic_input(self, rng, n):
+        half = np.sort(rng.standard_normal((5, n // 2)).astype(np.float32), axis=1)
+        other = np.sort(rng.standard_normal((5, n // 2)).astype(np.float32), axis=1)
+        bitonic = np.concatenate([half, other[:, ::-1]], axis=1)
+        out, _, comps = bitonic_merge(bitonic)
+        assert np.array_equal(out, np.sort(bitonic, axis=1))
+        assert comps == comparator_count_merge(n)
+
+    def test_payload(self, rng):
+        asc = np.sort(rng.standard_normal((2, 4)).astype(np.float32), axis=1)
+        desc = np.sort(rng.standard_normal((2, 4)).astype(np.float32), axis=1)[:, ::-1]
+        seq = np.concatenate([asc, desc], axis=1)
+        payload = np.tile(np.arange(8), (2, 1))
+        out, pay, _ = bitonic_merge(seq, payload)
+        for r in range(2):
+            assert np.allclose(seq[r][pay[r]], out[r])
+
+
+class TestMergeSelectLower:
+    def test_selects_k_smallest_of_union(self, rng):
+        a = np.sort(rng.standard_normal((6, 32)).astype(np.float32), axis=1)
+        b = np.sort(rng.standard_normal((6, 32)).astype(np.float32), axis=1)
+        lower, comps = merge_select_lower(a, b)
+        expect = np.sort(np.concatenate([a, b], axis=1), axis=1)[:, :32]
+        assert np.array_equal(np.sort(lower, axis=1), expect)
+        assert comps == 32
+
+    def test_result_is_bitonic(self, rng):
+        """The lower half is a rotation of an ascending/descending sequence."""
+        a = np.sort(rng.standard_normal((1, 16)).astype(np.float32), axis=1)
+        b = np.sort(rng.standard_normal((1, 16)).astype(np.float32), axis=1)
+        lower, _ = merge_select_lower(a, b)
+        merged, _, _ = bitonic_merge(lower)
+        assert np.array_equal(merged, np.sort(lower, axis=1))
+
+    def test_with_payload(self, rng):
+        a = np.sort(rng.standard_normal((3, 8)).astype(np.float32), axis=1)
+        b = np.sort(rng.standard_normal((3, 8)).astype(np.float32), axis=1)
+        ai = np.arange(8)[None, :].repeat(3, axis=0)
+        bi = (np.arange(8) + 100)[None, :].repeat(3, axis=0)
+        keys, payload, comps = merge_select_lower_with_payload(a, ai, b, bi)
+        assert comps == 8
+        for r in range(3):
+            for c in range(8):
+                src = a[r] if payload[r, c] < 100 else b[r]
+                pos = payload[r, c] % 100
+                assert keys[r, c] == src[pos]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_select_lower(np.zeros((2, 4)), np.zeros((2, 8)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=96),
+)
+def test_bitonic_sort_property(log_n, pool):
+    """Sorting arbitrary uint32 rows equals np.sort, any power-of-two width."""
+    n = 1 << log_n
+    rng = np.random.default_rng(42)
+    rows = rng.choice(
+        np.array(pool, dtype=np.uint32), size=(3, n), replace=True
+    )
+    out, _, comps = bitonic_sort(rows)
+    assert np.array_equal(out, np.sort(rows, axis=1))
+    assert comps == comparator_count_sort(n)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31))
+def test_merge_select_lower_property(log_k, seed):
+    k = 1 << log_k
+    rng = np.random.default_rng(seed)
+    a = np.sort(rng.integers(0, 100, size=(2, k), dtype=np.uint32), axis=1)
+    b = np.sort(rng.integers(0, 100, size=(2, k), dtype=np.uint32), axis=1)
+    lower, _ = merge_select_lower(a, b)
+    expect = np.sort(np.concatenate([a, b], axis=1), axis=1)[:, :k]
+    assert np.array_equal(np.sort(lower, axis=1), expect)

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _size, _size_range, build_parser, main
+
+
+class TestParsing:
+    def test_size_plain(self):
+        assert _size("1024") == 1024
+
+    def test_size_power(self):
+        assert _size("2^20") == 1 << 20
+        assert _size("10^3") == 1000
+
+    def test_size_range_powers(self):
+        assert _size_range("2^3:2^6") == [8, 16, 32, 64]
+
+    def test_size_range_list(self):
+        assert _size_range("8,100,2^10") == [8, 100, 1024]
+
+    def test_size_range_invalid(self):
+        with pytest.raises(Exception):
+            _size_range("2^6:2^3")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topk", "--algo", "turbo"])
+
+
+class TestCommands:
+    def test_topk(self, capsys):
+        assert main(["topk", "--n", "2^14", "--k", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "air_topk" in out
+        assert "simulated time" in out
+        assert "first results" in out
+
+    def test_topk_largest_with_sol_and_timeline(self, capsys):
+        code = main(
+            [
+                "topk",
+                "--n",
+                "2^14",
+                "--k",
+                "8",
+                "--largest",
+                "--sol",
+                "--timeline",
+                "--algo",
+                "grid_select",
+                "--gpu",
+                "A10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "largest 8" in out
+        assert "Speed of Light" in out
+        assert "timeline" in out
+
+    def test_topk_scaled_mode(self, capsys):
+        assert main(["topk", "--n", "2^26", "--k", "64", "--cap", "2^16"]) == 0
+        assert "[scaled mode]" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--n", "2^13", "--k", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        for algo in ("air_topk", "grid_select", "sort", "warp_select"):
+            assert algo in out
+
+    def test_compare_marks_unsupported(self, capsys):
+        assert main(["compare", "--n", "2^13", "--k", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "-" in out  # warp/block/grid/bitonic unsupported at k=4096
+
+    def test_sweep_n(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--vary",
+                    "n",
+                    "--k",
+                    "32",
+                    "--points",
+                    "2^12:2^16",
+                    "--cap",
+                    "2^16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "o=air_topk" in out
+        assert "2^12" in out and "2^16" in out
+
+    def test_sweep_k(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--vary",
+                    "k",
+                    "--n",
+                    "2^14",
+                    "--points",
+                    "8,64,512",
+                    "--cap",
+                    "2^15",
+                ]
+            )
+            == 0
+        )
+        assert "K" in capsys.readouterr().out
+
+    def test_table2_reduced(self, capsys):
+        assert main(["table2", "--cap", "2^14"]) == 0
+        out = capsys.readouterr().out
+        assert "AIR vs Radix" in out
+        assert "adversarial" in out

@@ -1,0 +1,73 @@
+"""Tests for stream compaction and the three-way radix partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.primitives import CompactionResult, compact, partition_three_way
+
+
+class TestCompact:
+    def test_keeps_masked_preserving_order(self):
+        keys = np.array([5, 3, 8, 1], dtype=np.uint32)
+        idx = np.arange(4, dtype=np.int64)
+        out = compact(keys, idx, np.array([True, False, True, True]))
+        assert np.array_equal(out.keys, [5, 8, 1])
+        assert np.array_equal(out.indices, [0, 2, 3])
+        assert out.count == 3
+
+    def test_bytes_written(self):
+        keys = np.arange(10, dtype=np.uint32)
+        idx = np.arange(10, dtype=np.int64)
+        out = compact(keys, idx, keys < 4)
+        assert out.bytes_written == 4 * (4 + 4)
+
+    def test_empty_result(self):
+        keys = np.arange(3, dtype=np.uint32)
+        out = compact(keys, keys.astype(np.int64), np.zeros(3, dtype=bool))
+        assert out.count == 0
+        assert out.bytes_written == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            compact(np.zeros(3, np.uint32), np.zeros(4, np.int64), np.zeros(3, bool))
+        with pytest.raises(ValueError):
+            compact(
+                np.zeros((2, 2), np.uint32),
+                np.zeros((2, 2), np.int64),
+                np.zeros((2, 2), bool),
+            )
+
+
+class TestPartitionThreeWay:
+    def test_splits_by_target(self):
+        keys = np.array([10, 20, 30, 40, 50], dtype=np.uint32)
+        idx = np.arange(5, dtype=np.int64)
+        digits = np.array([0, 1, 2, 1, 0], dtype=np.uint32)
+        winners, survivors = partition_three_way(keys, idx, digits, 1)
+        assert np.array_equal(winners.keys, [10, 50])
+        assert np.array_equal(survivors.keys, [20, 40])
+        assert np.array_equal(survivors.indices, [1, 3])
+
+    def test_counts_partition_the_input(self, rng):
+        keys = rng.integers(0, 2**32, 500, dtype=np.uint32)
+        idx = np.arange(500, dtype=np.int64)
+        digits = (keys >> np.uint32(24)).astype(np.uint32)
+        target = int(digits[137])
+        winners, survivors = partition_three_way(keys, idx, digits, target)
+        discarded = 500 - winners.count - survivors.count
+        assert winners.count == int((digits < target).sum())
+        assert survivors.count == int((digits == target).sum())
+        assert discarded == int((digits > target).sum())
+
+    def test_winners_strictly_better(self, rng):
+        keys = rng.integers(0, 2**32, 300, dtype=np.uint32)
+        idx = np.arange(300, dtype=np.int64)
+        digits = (keys >> np.uint32(28)).astype(np.uint32)
+        winners, survivors = partition_three_way(keys, idx, digits, 7)
+        if winners.count and survivors.count:
+            assert winners.keys.max() < survivors.keys.min() or True
+            # digit order, not key order, is the contract:
+            assert ((winners.keys >> np.uint32(28)) < 7).all()
+            assert ((survivors.keys >> np.uint32(28)) == 7).all()

@@ -1,0 +1,127 @@
+"""Tests for the roofline cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import A100, A10, H100
+from repro.perf import KernelCostModel, LaunchShape
+
+
+@pytest.fixture
+def model() -> KernelCostModel:
+    return KernelCostModel(A100)
+
+
+FULL = LaunchShape(grid_blocks=4 * A100.sm_count, block_threads=256)
+ONE_BLOCK = LaunchShape(grid_blocks=1, block_threads=128)
+ONE_WARP = LaunchShape(grid_blocks=1, block_threads=32)
+
+
+class TestLaunchShape:
+    def test_warp_count(self):
+        assert LaunchShape(2, 96).warps(32) == 6
+        assert LaunchShape(1, 33).warps(32) == 2  # partial warp rounds up
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchShape(0, 32)
+        with pytest.raises(ValueError):
+            LaunchShape(1, 0)
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self, model):
+        cost = model.price(FULL, bytes_read=4e9, flops=1e6)
+        assert cost.bound == "memory"
+        # 4 GB at ~1.4 TB/s effective: a few milliseconds
+        assert 2e-3 < cost.duration < 5e-3
+
+    def test_compute_bound_kernel(self, model):
+        cost = model.price(FULL, bytes_read=1e6, flops=1e12)
+        assert cost.bound == "compute"
+        assert cost.compute_time > cost.mem_time
+
+    def test_latency_bound_kernel(self, model):
+        cost = model.price(ONE_WARP, dependent_cycles=1e7)
+        assert cost.bound == "latency"
+        assert cost.latency_time == pytest.approx(1e7 / A100.clock_hz)
+
+    def test_max_not_sum(self, model):
+        both = model.price(FULL, bytes_read=4e9, flops=1e12)
+        mem_only = model.price(FULL, bytes_read=4e9)
+        # overlapping resources: the duration is the max, not the sum
+        assert both.duration < mem_only.duration + 1e12 / A100.effective_fp32
+
+    def test_tail_latency_floor(self, model):
+        cost = model.price(FULL)
+        assert cost.duration == pytest.approx(A100.kernel_tail_latency)
+
+
+class TestOccupancyEffects:
+    def test_single_block_much_slower_on_large_data(self, model):
+        """The BlockSelect effect (paper Sec. 5.3): 1 block vs a full grid."""
+        full = model.price(FULL, bytes_read=4e9).duration
+        one = model.price(ONE_BLOCK, bytes_read=4e9).duration
+        assert one / full > 100
+
+    def test_warp_efficiency_slows_memory(self, model):
+        fast = model.price(ONE_BLOCK, bytes_read=1e9, warp_efficiency=1.0).duration
+        slow = model.price(ONE_BLOCK, bytes_read=1e9, warp_efficiency=0.25).duration
+        assert slow > 3 * fast
+
+    def test_warp_efficiency_validation(self, model):
+        with pytest.raises(ValueError):
+            model.price(FULL, warp_efficiency=0.0)
+        with pytest.raises(ValueError):
+            model.price(FULL, warp_efficiency=1.5)
+
+    def test_first_burst_makes_small_transfers_cheap(self, model):
+        """Tiny inputs finish in ~one memory round trip even on one block."""
+        small = model.price(ONE_BLOCK, bytes_read=4096).mem_time
+        assert small <= 2 * A100.mem_latency_cycles / A100.clock_hz
+
+    def test_saturated_floor(self, model):
+        """No launch can beat the device's effective peak bandwidth."""
+        cost = model.price(FULL, bytes_read=1e9)
+        assert cost.mem_time >= 1e9 / A100.effective_bandwidth
+
+    def test_more_blocks_never_slower(self, model):
+        times = [
+            model.price(
+                LaunchShape(blocks, 256), bytes_read=1e9
+            ).duration
+            for blocks in (1, 4, 16, 64, 256, 1024)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * (1 + 1e-9)
+
+
+class TestPcie:
+    def test_latency_floor(self, model):
+        assert model.pcie_time(0) == A100.pcie_latency
+
+    def test_bandwidth_term(self, model):
+        t = model.pcie_time(22e9)
+        assert t == pytest.approx(A100.pcie_latency + 1.0)
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.pcie_time(-1)
+
+
+class TestCrossDevice:
+    def test_bandwidth_ordering_carries_to_time(self):
+        """H100 < A100 < A10 run time for the same memory-bound kernel —
+        the paper's Fig. 12 observation that AIR Top-K scales with memory
+        bandwidth."""
+        times = {}
+        for spec in (A100, H100, A10):
+            model = KernelCostModel(spec)
+            shape = LaunchShape(grid_blocks=4 * spec.sm_count, block_threads=256)
+            times[spec.name] = model.price(shape, bytes_read=4e9).duration
+        assert times["H100"] < times["A100"] < times["A10"]
+        # ratios roughly track bandwidth ratios (paper: ~2x and ~3x)
+        assert times["A100"] / times["H100"] == pytest.approx(
+            H100.peak_bandwidth / A100.peak_bandwidth, rel=0.1
+        )

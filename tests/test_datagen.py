@@ -1,0 +1,157 @@
+"""Tests for the workload generators (distributions and ANN stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    VectorDataset,
+    adversarial,
+    deep1b_like,
+    distance_array,
+    generate,
+    leading_bits_shared,
+    make_dataset,
+    sift_like,
+)
+from repro.device import A100, Device
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        x = generate("uniform", 10000, seed=1)
+        assert x.shape == (1, 10000)
+        assert x.dtype == np.float32
+        assert x.min() > 0.0 and x.max() <= 1.0
+
+    def test_normal_moments(self):
+        x = generate("normal", 200000, seed=2)[0]
+        assert abs(float(x.mean())) < 0.02
+        assert abs(float(x.std()) - 1.0) < 0.02
+
+    def test_batched_rows_differ(self):
+        x = generate("uniform", 1000, batch=3, seed=3)
+        assert x.shape == (3, 1000)
+        assert not np.array_equal(x[0], x[1])
+
+    def test_deterministic_by_seed(self):
+        a = generate("normal", 100, seed=5)
+        b = generate("normal", 100, seed=5)
+        c = generate("normal", 100, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate("zipf", 100)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate("uniform", 0)
+        with pytest.raises(ValueError):
+            generate("uniform", 10, batch=0)
+
+
+class TestAdversarial:
+    @pytest.mark.parametrize("m", [10, 12, 20, 28])
+    def test_exact_shared_prefix(self, m):
+        x = adversarial(50000, seed=1, m=m)
+        assert leading_bits_shared(x) >= m
+
+    def test_values_are_finite_normals(self):
+        x = adversarial(10000, seed=2, m=20)
+        assert np.isfinite(x).all()
+        assert (x >= 1.0).all() and (x < 2.0).all()
+
+    def test_paper_example_range(self):
+        """M=20 reproduces the paper's example: values in [1.0, 1.00049]."""
+        x = adversarial(10000, seed=3, m=20)
+        assert x.max() <= 1.00049
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            adversarial(10, m=5)
+        with pytest.raises(ValueError):
+            adversarial(10, m=32)
+
+    def test_low_bits_vary(self):
+        x = adversarial(10000, seed=4, m=20)
+        assert len(np.unique(x)) > 1000  # 12 free bits -> up to 4096 values
+
+    def test_leading_bits_shared_diagnostic(self):
+        same = np.full(100, 1.5, dtype=np.float32)
+        assert leading_bits_shared(same) == 32
+        x = np.array([1.0, -1.0], dtype=np.float32)
+        assert leading_bits_shared(x) == 0
+
+
+class TestAnnDatasets:
+    def test_deep1b_like_shape_and_norm(self):
+        ds = deep1b_like(2000, num_queries=4, seed=1)
+        assert ds.vectors.shape == (2000, 96)
+        assert ds.queries.shape == (4, 96)
+        norms = np.linalg.norm(ds.vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_sift_like_quantised_nonnegative(self):
+        ds = sift_like(2000, seed=2)
+        assert ds.dim == 128
+        assert ds.vectors.min() >= 0.0
+        assert ds.vectors.max() <= 255.0
+        assert np.array_equal(ds.vectors, np.floor(ds.vectors))
+
+    def test_factory(self):
+        ds = make_dataset("deep1b", 500, seed=3)
+        assert isinstance(ds, VectorDataset)
+        assert ds.num_vectors == 500
+        with pytest.raises(KeyError):
+            make_dataset("glove", 10)
+
+    def test_distance_array_values(self):
+        ds = deep1b_like(300, seed=4)
+        d = distance_array(ds, 0)
+        assert d.shape == (300,)
+        q = ds.queries[0]
+        expect = ((ds.vectors[17] - q) ** 2).sum()
+        assert d[17] == pytest.approx(expect, rel=1e-5)
+        assert (d >= 0).all()
+
+    def test_distance_array_subset(self):
+        ds = sift_like(1000, seed=5)
+        d = distance_array(ds, 1, subset=128)
+        assert d.shape == (128,)
+
+    def test_distance_array_accounts_device(self):
+        ds = deep1b_like(500, seed=6)
+        dev = Device(A100)
+        distance_array(ds, 0, device=dev)
+        assert dev.counters.kernel_launches == 1
+        assert dev.counters.bytes_read >= 500 * 96 * 4
+
+    def test_distance_distribution_is_nonuniform(self):
+        """The point of Sec. 5.5: distance arrays are clustered, unlike
+        the synthetic uniform inputs."""
+        ds = deep1b_like(5000, seed=7)
+        d = distance_array(ds, 0)
+        hist, _ = np.histogram(d, bins=16)
+        assert hist.max() > 3 * hist.mean()
+
+    def test_validation(self):
+        ds = deep1b_like(100, seed=8)
+        with pytest.raises(IndexError):
+            distance_array(ds, 99)
+        with pytest.raises(ValueError):
+            distance_array(ds, 0, subset=0)
+        with pytest.raises(ValueError):
+            distance_array(ds, 0, subset=101)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=9, max_value=31), st.integers(min_value=0, max_value=2**31))
+def test_adversarial_property(m, seed):
+    x = adversarial(2048, seed=seed, m=m)
+    assert leading_bits_shared(x) >= m
+    assert np.isfinite(x).all()

@@ -1,0 +1,157 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GridSelectStream, check_topk, topk
+from repro.bench import sweep, table2
+from repro.datagen import deep1b_like, distance_array, generate, sift_like
+from repro.device import A10, A100, H100, Device
+from repro.perf import simulate_topk, sol_report
+
+
+class TestTimelineFig8Shape:
+    """The Fig. 8 contrast: host-coordinated vs iteration-fused timelines."""
+
+    N = 1 << 20
+    K = 2048
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        data = generate("uniform", self.N, seed=8)[0]
+        radix = topk(data, self.K, algo="radix_select")
+        air = topk(data, self.K, algo="air_topk")
+        return radix, air
+
+    def test_radix_has_pcie_events(self, runs):
+        radix, _ = runs
+        assert len(radix.device.timeline.stream_events("pcie_d2h")) >= 2
+        assert len(radix.device.timeline.stream_events("pcie_h2d")) >= 2
+
+    def test_air_has_no_pcie_events(self, runs):
+        _, air = runs
+        assert not air.device.timeline.stream_events("pcie_d2h")
+        assert not air.device.timeline.stream_events("pcie_h2d")
+
+    def test_radix_gpu_gaps_dominate_airs(self, runs):
+        """The 'white spaces' of Fig. 8: RadixSelect leaves the GPU idle
+        between kernels while the host round-trips; AIR keeps it busy."""
+        radix, air = runs
+        radix_idle = sum(b - a for a, b in radix.device.timeline.idle_gaps("gpu"))
+        air_idle = sum(b - a for a, b in air.device.timeline.idle_gaps("gpu"))
+        assert radix_idle > 10 * max(air_idle, 1e-9)
+
+    def test_air_faster(self, runs):
+        radix, air = runs
+        assert radix.time / air.time > 2.0
+
+    def test_render_produces_text(self, runs):
+        radix, air = runs
+        assert "pcie_d2h" in radix.device.timeline.render()
+        assert "gpu" in air.device.timeline.render()
+
+
+class TestTable3Shape:
+    """Per-kernel SOL structure of AIR at large N (paper Table 3)."""
+
+    def test_fused_kernels_dominate_and_are_memory_bound(self):
+        run = simulate_topk(
+            "air_topk", distribution="uniform", n=1 << 30, k=2048, cap=1 << 20
+        )
+        rows = {r.name: r for r in sol_report(run.device)}
+        k1 = rows["iteration_fused_kernel(1)"]
+        k2 = rows["iteration_fused_kernel(2)"]
+        k3 = rows["iteration_fused_kernel(3)"]
+        last = rows["last_filter_kernel"]
+        # the two big passes take nearly all the time, split about evenly
+        assert k1.time_fraction + k2.time_fraction > 0.9
+        assert abs(k1.time_fraction - k2.time_fraction) < 0.2
+        assert k3.time_fraction < 0.05 and last.time_fraction < 0.05
+        # both near the memory roofline, compute well below it
+        for k in (k1, k2):
+            assert k.memory_sol > 0.75
+            assert 0.1 < k.compute_sol < k.memory_sol
+
+
+class TestDeviceScalingFig12Shape:
+    def test_air_tracks_memory_bandwidth(self):
+        times = {}
+        for spec in (A100, H100, A10):
+            run = simulate_topk(
+                "air_topk", distribution="uniform", n=1 << 28, k=2048, spec=spec
+            )
+            times[spec.name] = run.time
+        assert times["H100"] < times["A100"] < times["A10"]
+        # paper Sec. 5.4: ~2x H100 over A100, ~3x A100 over A10
+        assert 1.6 < times["A100"] / times["H100"] < 2.6
+        assert 2.0 < times["A10"] / times["A100"] < 3.5
+
+    def test_gridselect_crossover_moves_with_device(self):
+        """Paper Fig. 12: GridSelect wins to higher K on A10 than on A100."""
+
+        def crossover(spec):
+            for k in (32, 64, 128, 256, 512, 1024, 2048):
+                air = simulate_topk(
+                    "air_topk", distribution="uniform", n=1 << 28, k=k, spec=spec
+                )
+                grid = simulate_topk(
+                    "grid_select", distribution="uniform", n=1 << 28, k=k, spec=spec
+                )
+                if air.time < grid.time:
+                    return k
+            return 4096
+
+        assert crossover(A10) >= crossover(A100)
+
+
+class TestAnnPipeline:
+    """Sec. 5.5: distances from real-ish vector datasets feed top-k."""
+
+    @pytest.mark.parametrize("maker", [deep1b_like, sift_like])
+    def test_end_to_end(self, maker):
+        ds = maker(20000, seed=11)
+        dev = Device(A100)
+        dists = distance_array(ds, 0, device=dev)
+        r = topk(dists, 10, algo="air_topk", device=dev)
+        check_topk(dists, r.values, r.indices)
+        # brute-force nearest neighbours agree
+        expect = np.argsort(dists, kind="stable")[:10]
+        assert set(r.indices.tolist()) == set(expect.tolist())
+        assert dev.counters.kernel_launches == 1 + 4  # distances + AIR
+
+    def test_streaming_matches_offline(self):
+        ds = deep1b_like(30000, seed=12)
+        dists = distance_array(ds, 1)
+        stream = GridSelectStream(100)
+        for chunk in np.array_split(dists, 10):
+            stream.push(chunk)
+        values, indices = stream.topk()
+        offline = topk(dists, 100, algo="grid_select")
+        assert np.array_equal(np.sort(values), np.sort(offline.values))
+
+
+class TestMiniBenchmarkPipeline:
+    def test_sweep_to_table2(self):
+        res = sweep(
+            distributions=("uniform", "adversarial"),
+            ns=(1 << 12, 1 << 16),
+            ks=(16, 128),
+            batches=(1,),
+            cap=1 << 18,
+        )
+        rows = table2(res, batches=(1,), distributions=("uniform", "adversarial"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.air_vs_radix.low > 1.0
+            assert row.grid_vs_block.points > 0
+
+    def test_exact_points_verify(self):
+        """Exact-mode sweep results carry verifiable outputs."""
+        from repro.perf import simulate_topk
+
+        run = simulate_topk("grid_select", distribution="normal", n=1 << 14, k=100)
+        assert run.mode == "exact"
+        data = generate("normal", 1 << 14, seed=0)
+        check_topk(data, run.result.values, run.result.indices)

@@ -1,0 +1,115 @@
+"""Cross-validation: fast queue emulation vs the lockstep ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos.lockstep import lockstep_queue_select
+from repro.algos.queue_common import SENTINEL, emulate_queue_select
+from repro.primitives import encode
+
+
+def both(keys_1d, k, mode, queue_len):
+    fast = emulate_queue_select(
+        keys_1d[None, :], k, lanes=32, mode=mode, queue_len=queue_len
+    )
+    slow_keys, slow_idx, slow_stats = lockstep_queue_select(
+        keys_1d, k, mode=mode, queue_len=queue_len
+    )
+    return fast, (slow_keys, slow_idx, slow_stats)
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("mode,queue_len", [("shared", 32), ("thread", 2)])
+    @pytest.mark.parametrize("n", [5, 32, 100, 1000, 5000])
+    def test_same_topk(self, rng, mode, queue_len, n):
+        keys = encode(rng.standard_normal(n).astype(np.float32))
+        k = max(1, n // 7)
+        fast, (slow_keys, slow_idx, _) = both(keys, k, mode, queue_len)
+        assert np.array_equal(np.sort(fast.keys[0]), np.sort(slow_keys))
+        # both index sets point at the claimed keys
+        real = slow_keys != SENTINEL
+        assert np.array_equal(keys[slow_idx[real]], slow_keys[real])
+
+    def test_lockstep_matches_oracle(self, rng):
+        keys = encode(rng.standard_normal(3000).astype(np.float32))
+        slow_keys, _, _ = lockstep_queue_select(keys, 64, mode="shared", queue_len=32)
+        assert np.array_equal(slow_keys, np.sort(keys)[:64])
+
+
+class TestEventCountFidelity:
+    @pytest.mark.parametrize("mode,queue_len", [("shared", 32), ("thread", 2)])
+    def test_insert_counts_bracket(self, rng, mode, queue_len):
+        """The fast path's per-chunk threshold lags the lockstep one, so it
+        may count more qualified inserts — never fewer."""
+        keys = encode(rng.standard_normal(20000).astype(np.float32))
+        fast, (_, _, slow_stats) = both(keys, 128, mode, queue_len)
+        assert fast.stats.inserts >= slow_stats.inserts
+        # and the overcount is bounded (chunks adapt): within 2x + warmup
+        assert fast.stats.inserts <= 2 * slow_stats.inserts + 4 * 128
+
+    @pytest.mark.parametrize("mode,queue_len", [("shared", 32), ("thread", 2)])
+    def test_flush_counts_close(self, rng, mode, queue_len):
+        keys = encode(rng.standard_normal(20000).astype(np.float32))
+        fast, (_, _, slow_stats) = both(keys, 128, mode, queue_len)
+        assert fast.stats.flushes >= slow_stats.flushes - 1
+        assert fast.stats.flushes <= 2 * slow_stats.flushes + 8
+
+    def test_rounds_identical(self, rng):
+        keys = encode(rng.standard_normal(999).astype(np.float32))
+        fast, (_, _, slow_stats) = both(keys, 16, "shared", 32)
+        assert fast.stats.rounds == slow_stats.rounds
+
+    def test_shared_flushes_follow_insert_arithmetic(self, rng):
+        """Lockstep shared-queue flushes are exactly floor(inserts/32) or
+        one fewer (the final partial queue drains without a flush)."""
+        keys = encode(rng.standard_normal(8000).astype(np.float32))
+        _, _, stats = lockstep_queue_select(keys, 64, mode="shared", queue_len=32)
+        assert stats.flushes in (stats.inserts // 32, stats.inserts // 32 - 1)
+
+
+class TestLockstepValidation:
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            lockstep_queue_select(
+                np.zeros((2, 4), np.uint32), 1, mode="shared", queue_len=32
+            )
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            lockstep_queue_select(
+                np.zeros(4, np.uint32), 1, mode="heap", queue_len=32
+            )
+
+    def test_rejects_bad_queue(self):
+        with pytest.raises(ValueError):
+            lockstep_queue_select(
+                np.zeros(4, np.uint32), 1, mode="shared", queue_len=0
+            )
+
+    def test_rejects_sub_warp_shared_queue(self):
+        """A shared queue below warp size could need two flushes per round
+        — outside the two-step insertion's design domain (Fig. 5)."""
+        with pytest.raises(ValueError):
+            lockstep_queue_select(
+                np.zeros(64, np.uint32), 1, mode="shared", queue_len=8
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=600),
+    st.integers(min_value=1, max_value=100),
+    st.sampled_from([("shared", 32), ("shared", 64), ("thread", 2), ("thread", 4)]),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_lockstep_and_fast_agree_property(n, k_raw, discipline, seed):
+    mode, queue_len = discipline
+    rng = np.random.default_rng(seed)
+    k = 1 + (k_raw - 1) % n
+    keys = encode(rng.standard_normal(n).astype(np.float32))
+    fast, (slow_keys, _, _) = both(keys, k, mode, queue_len)
+    assert np.array_equal(np.sort(fast.keys[0]), np.sort(slow_keys))

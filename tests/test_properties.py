@@ -1,0 +1,162 @@
+"""Property-based cross-cutting invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import available_algorithms, check_topk, topk
+from repro.verify import oracle_topk_values
+
+ALGOS = available_algorithms()
+
+#: float32 values including duplicates, infinities and extremes
+finite_floats = st.floats(
+    width=32, allow_nan=False, allow_infinity=True, allow_subnormal=True
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(finite_floats, min_size=1, max_size=400),
+    st.integers(min_value=1, max_value=400),
+    st.sampled_from(ALGOS),
+    st.booleans(),
+)
+def test_every_algorithm_matches_oracle(values, k_raw, algo, largest):
+    data = np.array(values, dtype=np.float32)
+    k = 1 + (k_raw - 1) % data.shape[0]
+    if algo == "bitonic_topk" and k > 256:
+        k = 256 if data.shape[0] >= 256 else k % data.shape[0] + 1
+    r = topk(data, k, algo=algo, largest=largest)
+    check_topk(data, r.values, r.indices, largest=largest)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(finite_floats, min_size=2, max_size=200),
+    st.integers(min_value=1, max_value=50),
+)
+def test_all_algorithms_agree_on_value_multiset(values, k_raw):
+    """Every algorithm returns the same multiset of selected values."""
+    data = np.array(values, dtype=np.float32)
+    k = 1 + (k_raw - 1) % data.shape[0]
+    expect = oracle_topk_values(data, k)
+    for algo in ALGOS:
+        got = topk(data, k, algo=algo).values
+        assert np.array_equal(got, expect), algo
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_smallest_and_largest_are_duals(n, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n).astype(np.float32)
+    k = max(1, n // 3)
+    small = topk(data, k, algo="air_topk")
+    large = topk(-data, k, algo="air_topk", largest=True)
+    assert np.array_equal(small.values, -large.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=1000), st.integers(min_value=0, max_value=2**31))
+def test_result_set_is_downward_closed(n, seed):
+    """top-(k) is always a prefix of top-(k+1) in value order."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n).astype(np.float32)
+    k = max(1, n // 2)
+    a = topk(data, k, algo="air_topk").values
+    b = topk(data, k + (k < n), algo="air_topk").values
+    assert np.array_equal(a, b[: len(a)])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(["air_topk", "grid_select", "sort", "radix_select"]),
+)
+def test_batch_rows_independent(n, batch, seed, algo):
+    """Batched output equals per-row output."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((batch, n)).astype(np.float32)
+    k = max(1, n // 4)
+    batched = topk(data, k, algo=algo)
+    for row in range(batch):
+        single = topk(data[row], k, algo=algo)
+        assert np.array_equal(batched.values[row], single.values)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=100, max_value=5000),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_adaptive_traffic_bounded_vs_static(n, seed):
+    """Adaptive traffic never exceeds static by more than the bounded cost
+    of re-reading the input where buffering was declined.  (For tiny N the
+    alpha=128 threshold can decline a buffer that would have been slightly
+    cheaper — the trade-off the paper tunes alpha for at scale.)"""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n).astype(np.float32)
+    k = max(1, n // 10)
+    adaptive = topk(data, k, algo="air_topk")
+    static = topk(data, k, algo="air_topk", adaptive=False)
+    slack = 2 * 4.0 * n  # at most two declined-buffer input re-reads
+    assert (
+        adaptive.device.counters.bytes_total
+        <= static.device.counters.bytes_total + slack
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=65536, max_value=1 << 20),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_adaptive_strictly_wins_on_adversarial(n, seed):
+    """Under the radix-adversarial distribution the adaptive strategy
+    strictly dominates the always-buffer pipeline (Fig. 9)."""
+    from repro.datagen import adversarial
+
+    data = adversarial(n, seed=seed, m=20)[0]
+    k = max(1, n // 100)
+    on = topk(data, k, algo="air_topk")
+    off = topk(data, k, algo="air_topk", adaptive=False)
+    assert on.device.counters.bytes_total < off.device.counters.bytes_total
+    assert on.time <= off.time
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.sampled_from(ALGOS))
+def test_timeline_well_formed(seed, algo):
+    """Per-stream events never overlap; elapsed covers the whole trace."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(3000).astype(np.float32)
+    r = topk(data, 64, algo=algo)
+    tl = r.device.timeline
+    for stream in ("gpu", "cpu", "pcie_d2h", "pcie_h2d"):
+        events = tl.stream_events(stream)
+        for a, b in zip(events, events[1:]):
+            assert b.start >= a.end - 1e-12
+    assert r.device.elapsed >= max((e.end for e in tl.events), default=0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_permutation_invariance_of_values(seed):
+    """Shuffling the input never changes the selected value multiset."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(800).astype(np.float32)
+    shuffled = data.copy()
+    rng.shuffle(shuffled)
+    for algo in ("air_topk", "grid_select"):
+        a = topk(data, 25, algo=algo).values
+        b = topk(shuffled, 25, algo=algo).values
+        assert np.array_equal(a, b)

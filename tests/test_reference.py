@@ -1,0 +1,102 @@
+"""Tests for the sequential heap reference, and cross-checks against it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import topk
+from repro.reference import BoundedHeap, heap_topk
+
+
+class TestBoundedHeap:
+    def test_fills_then_filters(self):
+        heap = BoundedHeap(3)
+        assert heap.threshold is None
+        for key in (5, 1, 9):
+            assert heap.offer(key, key)
+        assert heap.threshold == 9
+        assert heap.offer(2, 2)       # displaces 9
+        assert not heap.offer(100, 100)
+        keys, idx = heap.items()
+        assert list(keys) == [1, 2, 5]
+        assert list(idx) == [1, 2, 5]
+
+    def test_heap_property_maintained(self, rng):
+        heap = BoundedHeap(16)
+        for i, key in enumerate(rng.integers(0, 1000, 500)):
+            heap.offer(int(key), i)
+            # parent >= children throughout
+            size = len(heap)
+            for pos in range(1, size):
+                assert heap._keys[(pos - 1) // 2] >= heap._keys[pos]
+
+    def test_work_is_logarithmic(self, rng):
+        """sift work per push is O(log k), not O(k)."""
+        import math
+
+        k = 256
+        heap = BoundedHeap(k)
+        n = 20000
+        for i, key in enumerate(rng.integers(0, 2**32, n)):
+            heap.offer(int(key), i)
+        assert heap.sifts <= heap.pushes * (math.log2(k) + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedHeap(0)
+
+
+class TestHeapTopK:
+    def test_matches_sort(self, rng):
+        data = rng.standard_normal(5000).astype(np.float32)
+        values, indices = heap_topk(data, 40)
+        assert np.array_equal(values, np.sort(data)[:40])
+        assert np.array_equal(data[indices], values)
+
+    def test_largest(self, rng):
+        data = rng.standard_normal(2000).astype(np.float32)
+        values, _ = heap_topk(data, 10, largest=True)
+        assert np.array_equal(values, np.sort(data)[::-1][:10])
+
+    def test_nan_policy_matches_library(self):
+        data = np.array([np.nan, 1.0, -1.0, np.nan], dtype=np.float32)
+        values, _ = heap_topk(data, 2)
+        assert np.array_equal(values, [-1.0, 1.0])
+        values, _ = heap_topk(data, 2, largest=True)
+        assert np.array_equal(values, [1.0, -1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heap_topk(np.zeros((2, 2), np.float32), 1)
+        with pytest.raises(ValueError):
+            heap_topk(np.zeros(4, np.float32), 5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(width=32, allow_nan=True, allow_infinity=True),
+        min_size=1,
+        max_size=300,
+    ),
+    st.integers(min_value=1, max_value=300),
+    st.booleans(),
+    st.sampled_from(["air_topk", "grid_select", "radix_select", "sort"]),
+)
+def test_gpu_algorithms_agree_with_heap_reference(values, k_raw, largest, algo):
+    """Independent cross-check: the simulated GPU methods select the same
+    key multiset as a textbook sequential heap."""
+    data = np.array(values, dtype=np.float32)
+    k = 1 + (k_raw - 1) % data.shape[0]
+    ref_values, _ = heap_topk(data, k, largest=largest)
+    got = topk(data, k, algo=algo, largest=largest).values
+    ref_bits = np.sort(ref_values.view(np.uint32))
+    # compare canonicalised bit patterns (NaN payloads may differ)
+    def canon(x):
+        x = np.where(np.isnan(x), np.float32(np.nan), x)
+        return np.sort(x.view(np.uint32))
+
+    assert np.array_equal(canon(got), canon(ref_values))

@@ -1,0 +1,115 @@
+"""Tests for the roofline analyzer and the AIR pass trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIRTopK
+from repro.core import PassRecord
+from repro.datagen import generate
+from repro.device import A100, H100, Device
+from repro.perf import (
+    render_roofline,
+    ridge_intensity,
+    roofline_points,
+    simulate_topk,
+)
+
+
+class TestRoofline:
+    def test_ridge(self):
+        assert ridge_intensity(A100) == pytest.approx(19.5e12 / 1.555e12)
+        assert ridge_intensity(H100) == pytest.approx(66.9e12 / 3.35e12)
+
+    def test_air_kernels_are_memory_regime(self):
+        run = simulate_topk(
+            "air_topk", distribution="uniform", n=1 << 22, k=2048
+        )
+        points = {p.name: p for p in roofline_points(run.device)}
+        k1 = points["iteration_fused_kernel(1)"]
+        assert k1.regime == "memory"
+        assert k1.intensity < ridge_intensity(A100)
+        assert 0.5 < k1.efficiency <= 1.0  # near the roof, the Table 3 story
+
+    def test_ceiling_below_roof(self):
+        run = simulate_topk("sort", distribution="uniform", n=1 << 20, k=64)
+        for p in roofline_points(run.device):
+            assert p.achieved_flops <= p.ceiling_flops * (1 + 1e-9)
+            assert p.ceiling_flops <= A100.peak_fp32
+
+    def test_render(self):
+        run = simulate_topk("air_topk", distribution="uniform", n=1 << 20, k=64)
+        text = render_roofline(run.device)
+        assert "ridge" in text
+        assert "iteration_fused_kernel(1)" in text
+        assert "memory" in text
+
+    def test_empty_device(self):
+        assert "no kernels" in render_roofline(Device(A100))
+
+
+class TestAirPassTrace:
+    def run_trace(self, dist, n, k, m=20, **kwargs) -> list[PassRecord]:
+        air = AIRTopK(**kwargs)
+        air.select(generate(dist, n, seed=4, adversarial_m=m)[0], k)
+        return air.last_trace
+
+    def test_uniform_small_k_collapses_fast(self):
+        trace = self.run_trace("uniform", 1 << 18, 64)
+        assert trace[0].candidates_in == 1 << 18
+        # a 2048-bucket histogram over continuous data slashes candidates
+        assert trace[0].candidates_out < (1 << 18) // 64
+        assert trace[1].buffered  # survivors small enough to buffer
+
+    def test_adversarial_m20_trajectory(self):
+        """The paper's Sec. 3.2 pathology: pass 0 keeps everything, pass 1
+        keeps ~1/4 (bits 20-21 free), nothing is ever buffered."""
+        n = 1 << 18
+        trace = self.run_trace("adversarial", n, 64, m=20)
+        assert trace[0].candidates_out == n
+        assert trace[1].candidates_out == pytest.approx(n / 4, rel=0.1)
+        assert not any(rec.buffered for rec in trace)
+
+    def test_adversarial_m10_trajectory(self):
+        """M=10 leaves bit 10 free in pass 0: ~half survives."""
+        n = 1 << 18
+        trace = self.run_trace("adversarial", n, 64, m=10)
+        assert trace[0].candidates_out == pytest.approx(n / 2, rel=0.1)
+
+    def test_static_ablation_buffers_after_first_pass(self):
+        trace = self.run_trace("adversarial", 1 << 16, 64, m=20, adaptive=False)
+        assert not trace[0].buffered  # pass 0 has nothing filtered yet
+        assert all(rec.buffered for rec in trace[1:])
+
+    def test_candidates_never_increase(self):
+        for dist in ("uniform", "normal", "adversarial"):
+            trace = self.run_trace(dist, 1 << 16, 100)
+            counts = [rec.candidates_out for rec in trace]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_k_remaining_bounded_by_candidates(self):
+        trace = self.run_trace("normal", 1 << 16, 5000)
+        for rec in trace:
+            assert 1 <= rec.k_remaining <= rec.candidates_out
+
+    def test_early_stop_recorded(self, rng):
+        air = AIRTopK()
+        data = rng.standard_normal(1 << 14).astype(np.float32)
+        air.select(data, data.shape[0])  # K = N stops after pass 0
+        assert air.last_trace[0].early_stopped
+        assert len(air.last_trace) == 1
+
+    def test_trace_reset_between_runs(self, rng):
+        air = AIRTopK()
+        data = rng.standard_normal(4096).astype(np.float32)
+        air.select(data, 16)
+        first = len(air.last_trace)
+        air.select(data, 16)
+        assert len(air.last_trace) == first
+
+    def test_batched_rows_tagged(self, rng):
+        air = AIRTopK()
+        data = rng.standard_normal((3, 4096)).astype(np.float32)
+        air.select(data, 16)
+        assert {rec.row for rec in air.last_trace} == {0, 1, 2}

@@ -1,0 +1,126 @@
+"""Tests for the output verifier itself (it must catch broken outputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.verify import check_topk, oracle_topk_values
+
+
+@pytest.fixture
+def data(rng):
+    return rng.standard_normal(100).astype(np.float32)
+
+
+def good(data, k=5, largest=False):
+    values = oracle_topk_values(data, k, largest=largest)
+    order = np.argsort(data if not largest else -data, kind="stable")[:k]
+    return values, order
+
+
+class TestOracle:
+    def test_smallest(self, data):
+        assert np.array_equal(oracle_topk_values(data, 3), np.sort(data)[:3])
+
+    def test_largest(self, data):
+        assert np.array_equal(
+            oracle_topk_values(data, 3, largest=True), np.sort(data)[::-1][:3]
+        )
+
+    def test_nan_policy(self):
+        x = np.array([1.0, np.nan, -1.0], dtype=np.float32)
+        assert np.array_equal(oracle_topk_values(x, 2), [-1.0, 1.0])
+        assert np.array_equal(oracle_topk_values(x, 2, largest=True), [1.0, -1.0])
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((3, 50)).astype(np.float32)
+        out = oracle_topk_values(x, 4)
+        assert out.shape == (3, 4)
+        for row in range(3):
+            assert np.array_equal(out[row], np.sort(x[row])[:4])
+
+    def test_k_validation(self, data):
+        with pytest.raises(ValueError):
+            oracle_topk_values(data, 0)
+        with pytest.raises(ValueError):
+            oracle_topk_values(data, 101)
+
+
+class TestCheckTopkAccepts:
+    def test_valid_output(self, data):
+        values, indices = good(data)
+        check_topk(data, values, indices)
+
+    def test_any_tie_breaking(self):
+        data = np.array([1.0, 0.0, 0.0, 0.0, 2.0], dtype=np.float32)
+        # either duplicate index set is fine
+        check_topk(data, np.float32([0.0, 0.0]), np.array([1, 2]))
+        check_topk(data, np.float32([0.0, 0.0]), np.array([3, 1]))
+
+    def test_unsorted_output_ok(self, data):
+        values, indices = good(data, 5)
+        check_topk(data, values[::-1].copy(), indices[::-1].copy())
+
+    def test_nan_values_match(self):
+        data = np.array([np.nan, np.nan, 1.0], dtype=np.float32)
+        check_topk(data, np.float32([1.0, np.nan, np.nan]), np.array([2, 0, 1]))
+
+
+class TestCheckTopkRejects:
+    def test_wrong_values(self, data):
+        values, indices = good(data)
+        bad = values.copy()
+        bad[0] = 1e9
+        with pytest.raises(AssertionError):
+            check_topk(data, bad, indices)
+
+    def test_not_the_smallest(self, data):
+        """values/indices are internally consistent but not the top-k."""
+        order = np.argsort(data, kind="stable")
+        indices = order[1:6]  # skipped the minimum
+        with pytest.raises(AssertionError):
+            check_topk(data, data[indices], indices)
+
+    def test_duplicate_indices(self, data):
+        values, indices = good(data)
+        indices = indices.copy()
+        indices[1] = indices[0]
+        values = values.copy()
+        values[1] = values[0]
+        with pytest.raises(AssertionError):
+            check_topk(data, values, indices)
+
+    def test_index_out_of_range(self, data):
+        values, indices = good(data)
+        indices = indices.copy()
+        indices[0] = 100
+        with pytest.raises(AssertionError):
+            check_topk(data, values, indices)
+
+    def test_negative_index(self, data):
+        values, indices = good(data)
+        indices = indices.copy()
+        indices[0] = -1
+        with pytest.raises(AssertionError):
+            check_topk(data, values, indices)
+
+    def test_values_not_at_indices(self, data):
+        values, indices = good(data)
+        with pytest.raises(AssertionError):
+            check_topk(data, values + 1.0, indices)
+
+    def test_wrong_direction(self, data):
+        values, indices = good(data, largest=False)
+        with pytest.raises(AssertionError):
+            check_topk(data, values, indices, largest=True)
+
+    def test_shape_mismatch(self, data):
+        values, indices = good(data)
+        with pytest.raises(AssertionError):
+            check_topk(data, values[:4], indices)
+
+    def test_batch_mismatch(self, rng):
+        data = rng.standard_normal((2, 10)).astype(np.float32)
+        with pytest.raises(AssertionError):
+            check_topk(data, np.zeros((3, 2), np.float32), np.zeros((3, 2), np.int64))

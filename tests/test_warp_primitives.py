@@ -1,0 +1,109 @@
+"""Tests for the warp collectives behind GridSelect's two-step insertion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import ballot, lane_rank, two_step_positions
+
+
+class TestBallot:
+    def test_packs_lanes(self):
+        mask = ballot(np.array([True, False, True, True]))
+        assert mask == 0b1101
+
+    def test_empty_predicate(self):
+        assert ballot(np.zeros(32, dtype=bool)) == 0
+
+    def test_all_lanes(self):
+        assert ballot(np.ones(32, dtype=bool)) == 0xFFFFFFFF
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ballot(np.zeros((2, 2), dtype=bool))
+
+    def test_rejects_oversized_warp(self):
+        with pytest.raises(ValueError):
+            ballot(np.zeros(65, dtype=bool))
+
+
+class TestLaneRank:
+    def test_counts_prior_qualified(self):
+        ranks = lane_rank(np.array([True, False, True, True, False]))
+        assert np.array_equal(ranks, [0, 1, 1, 2, 3])
+
+    def test_matches_popc_of_lower_ballot_bits(self, rng):
+        pred = rng.random(32) < 0.4
+        mask = ballot(pred)
+        for lane in range(32):
+            expected = bin(mask & ((1 << lane) - 1)).count("1")
+            assert lane_rank(pred)[lane] == expected
+
+
+class TestTwoStepPositions:
+    def test_paper_figure5_example(self):
+        """Fig. 5: 8 lanes, queue size 4 (scaled-down), fill 1.
+
+        Lanes 0,2,4,6,7 hold qualified candidates.  With one slot already
+        used, positions are 1,2,3,4,5: lanes 0,2,4 insert immediately,
+        lanes 6,7 wait for the flush.
+        """
+        pred = np.array([1, 0, 1, 0, 1, 0, 1, 1], dtype=bool)
+        first, second, new_fill = two_step_positions(pred, queue_fill=1, queue_size=4)
+        assert np.array_equal(first, [1, 0, 1, 0, 1, 0, 0, 0])
+        assert np.array_equal(second, [0, 0, 0, 0, 0, 0, 1, 1])
+        assert new_fill == 2  # 6 total - 4 flushed
+
+    def test_no_flush_when_space(self):
+        pred = np.array([True, True, False, False])
+        first, second, new_fill = two_step_positions(pred, queue_fill=0, queue_size=8)
+        assert first.sum() == 2 and second.sum() == 0
+        assert new_fill == 2
+
+    def test_exact_fill_flushes(self):
+        """The paper triggers the flush when the queue becomes full."""
+        pred = np.array([True, True])
+        first, second, new_fill = two_step_positions(pred, queue_fill=2, queue_size=4)
+        assert first.sum() == 2 and second.sum() == 0
+        assert new_fill == 0  # full -> flushed -> empty
+
+    def test_fill_conservation(self, rng):
+        fill = 0
+        total_inserted = 0
+        flushes = 0
+        for _ in range(50):
+            pred = rng.random(32) < 0.5
+            before = fill
+            first, second, fill = two_step_positions(pred, before, 32)
+            q = int(pred.sum())
+            total_inserted += q
+            if before + q >= 32:
+                flushes += 1
+            assert first.sum() + second.sum() == q
+        assert total_inserted == flushes * 32 + fill
+
+    def test_invalid_fill(self):
+        with pytest.raises(ValueError):
+            two_step_positions(np.array([True]), queue_fill=5, queue_size=4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=31),
+)
+def test_two_step_partition_property(pred_list, fill_raw):
+    """first/second partition the qualified lanes; positions are unique."""
+    pred = np.array(pred_list, dtype=bool)
+    queue_size = 32
+    fill = min(fill_raw, queue_size)
+    first, second, new_fill = two_step_positions(pred, fill, queue_size)
+    assert not np.any(first & second)
+    assert np.array_equal(first | second, pred)
+    # storing positions are unique and dense
+    positions = fill + lane_rank(pred)[pred]
+    assert len(set(positions.tolist())) == len(positions)
+    assert 0 <= new_fill < queue_size or (new_fill == fill + pred.sum() < queue_size)
