@@ -1,5 +1,6 @@
 """The eight baseline top-k algorithms from the paper's Table 1."""
 
+from .auto import AutoTopK
 from .base import RunContext, TopKAlgorithm, TopKResult, UnsupportedProblem
 from .registry import available_algorithms, get_algorithm
 from .sort_topk import SortTopK
@@ -12,6 +13,7 @@ from .sample_select import SampleSelect
 from .hybrid import DrTopKHybrid
 
 __all__ = [
+    "AutoTopK",
     "RunContext",
     "TopKAlgorithm",
     "TopKResult",

@@ -114,7 +114,11 @@ def _merge_into_maintained(
     k = m_keys.shape[1]
     all_keys = np.concatenate([m_keys, cand_keys], axis=1)
     all_idx = np.concatenate([m_idx, cand_idx], axis=1)
-    order = np.argsort(all_keys, axis=1, kind="stable")[:, :k]
+    # key-primary, validity-secondary: a real element whose key happens to
+    # equal the all-ones sentinel (e.g. uint32 value 0xFFFFFFFF selected
+    # smallest, or value 0 selected largest) must beat padding slots, which
+    # carry the same key but index -1
+    order = np.lexsort((all_idx < 0, all_keys))[:, :k]
     return (
         np.take_along_axis(all_keys, order, axis=1),
         np.take_along_axis(all_idx, order, axis=1),
@@ -128,6 +132,7 @@ def emulate_queue_select(
     lanes: int,
     mode: str,
     queue_len: int,
+    valid_lengths: np.ndarray | None = None,
 ) -> QueueRunResult:
     """Run the queue-select skeleton over independent slices.
 
@@ -136,6 +141,13 @@ def emulate_queue_select(
     slice (32 for one warp, 128 for a 4-warp block).  ``queue_len`` is the
     per-lane queue length in ``thread`` mode, the shared-queue capacity in
     ``shared`` mode.
+
+    ``valid_lengths`` (per-slice count of leading real elements, defaulting
+    to the full slice) lets sentinel-padded slices distinguish padding from
+    a *real* element whose key equals the sentinel — integer dtypes can
+    produce the all-ones key (uint32 0xFFFFFFFF smallest, 0 largest), and
+    such an element must still be admitted while the maintained top-k has
+    unfilled slots.
     """
     if mode not in ("thread", "shared"):
         raise ValueError(f"mode must be 'thread' or 'shared', got {mode!r}")
@@ -144,6 +156,15 @@ def emulate_queue_select(
     if lanes <= 0 or queue_len <= 0:
         raise ValueError("lanes and queue_len must be positive")
     num_slices, length = slices.shape
+    if valid_lengths is None:
+        valid_lengths = np.full(num_slices, length, dtype=np.int64)
+    else:
+        valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+        if valid_lengths.shape != (num_slices,):
+            raise ValueError(
+                f"valid_lengths must have shape ({num_slices},), "
+                f"got {valid_lengths.shape}"
+            )
     sentinel = sentinel_for(slices.dtype)
     stats = QueueStats()
     stats.rounds = -(-length // lanes) * num_slices
@@ -167,6 +188,17 @@ def emulate_queue_select(
         block = slices[:, pos : pos + c]
         threshold = m_keys[:, -1][:, None]
         mask = block < threshold
+        # sentinel-keyed *real* elements tie with the initial threshold and
+        # would never qualify under `<`; admit them while the maintained
+        # top-k still holds padding (index -1 — padding sorts last, so the
+        # final slot tells).  Refreshed per chunk, like the threshold.
+        has_pad = m_idx[:, -1] < 0
+        if has_pad.any():
+            is_real = (
+                np.arange(pos, pos + c, dtype=np.int64)[None, :]
+                < valid_lengths[:, None]
+            )
+            mask |= has_pad[:, None] & is_real & (block == threshold)
         per_slice_q = mask.sum(axis=1)
         stats.inserts += int(per_slice_q.sum())
 

@@ -1,11 +1,13 @@
 """Name -> algorithm registry covering the paper's full benchmark roster.
 
 The eight baselines of Table 1 plus the paper's two contributions, under
-the names the benchmark harness and figures use.
+the names the benchmark harness and figures use, plus the ``auto``
+dispatcher that picks among them with the cost model.
 """
 
 from __future__ import annotations
 
+from .auto import AutoTopK
 from .base import TopKAlgorithm
 from .hybrid import DrTopKHybrid
 from .sort_topk import SortTopK
@@ -56,6 +58,7 @@ def _ensure_core() -> None:
 
 
 for _factory in (
+    AutoTopK,
     DrTopKHybrid,
     SortTopK,
     RadixSelect,

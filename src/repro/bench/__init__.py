@@ -13,6 +13,7 @@ from .suite import PaperSuiteResult, run_paper_suite
 from .summary import SpeedupRange, Table2Row, speedup_range, table2
 from .ascii_plot import ascii_plot, plot_sweep
 from .report import (
+    format_dispatch_table,
     format_series_table,
     format_table,
     format_time,
@@ -36,6 +37,7 @@ __all__ = [
     "table2",
     "ascii_plot",
     "plot_sweep",
+    "format_dispatch_table",
     "format_series_table",
     "format_table",
     "format_time",

@@ -91,7 +91,17 @@ def write_csv(points: Iterable[BenchPoint], path: str | Path) -> Path:
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(
-            ["algo", "distribution", "n", "k", "batch", "time_s", "mode"]
+            [
+                "algo",
+                "distribution",
+                "n",
+                "k",
+                "batch",
+                "time_s",
+                "mode",
+                "status",
+                "detail",
+            ]
         )
         for p in points:
             writer.writerow(
@@ -103,9 +113,39 @@ def write_csv(points: Iterable[BenchPoint], path: str | Path) -> Path:
                     p.batch,
                     "" if p.time is None else f"{p.time:.9e}",
                     p.mode,
+                    p.status,
+                    p.detail,
                 ]
             )
     return path
+
+
+def format_dispatch_table(points: Iterable[BenchPoint]) -> str:
+    """Where the ``auto`` dispatcher sent each problem, as a table.
+
+    Every ``auto`` row records its chosen concrete algorithm in
+    ``detail`` (``dispatch=<name>``); this renders those choices so a
+    sweep report shows *which* algorithm the cost model picked per point.
+    """
+    rows = []
+    for p in points:
+        if p.algo != "auto" or not p.detail.startswith("dispatch="):
+            continue
+        rows.append(
+            (
+                p.distribution,
+                _pow2_label(p.n),
+                _pow2_label(p.k),
+                p.batch,
+                p.detail.removeprefix("dispatch="),
+                format_time(p.time),
+            )
+        )
+    if not rows:
+        return "(no auto points in this sweep)"
+    return format_table(
+        ["distribution", "N", "K", "batch", "dispatched to", "time"], rows
+    )
 
 
 def geomean(values: Sequence[float]) -> float:

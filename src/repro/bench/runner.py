@@ -36,7 +36,7 @@ ALL_ALGORITHMS = OUR_ALGORITHMS + BASELINE_ALGORITHMS
 
 @dataclass(frozen=True)
 class BenchPoint:
-    """One measured benchmark point (time is None when unsupported)."""
+    """One benchmark point (time is None for any non-``ok`` status)."""
 
     algo: str
     distribution: str
@@ -45,6 +45,14 @@ class BenchPoint:
     batch: int
     time: float | None
     mode: str = "exact"
+    #: "ok", or why there is no time: "unsupported" (the algorithm cannot
+    #: handle this (n, k) — the gaps of the paper's Fig. 6/7, recorded
+    #: explicitly so SOTA denominators stay auditable), "error" (the point
+    #: crashed; sweeps record it and carry on) or "timeout"
+    status: str = "ok"
+    #: free-form annotation: the unsupported/error reason, or the concrete
+    #: algorithm an ``auto`` point dispatched to ("dispatch=<name>")
+    detail: str = ""
 
     @property
     def key(self) -> tuple[str, int, int, int]:
@@ -120,7 +128,8 @@ def run_point(
     adversarial_m: int = 20,
     **algo_kwargs,
 ) -> BenchPoint:
-    """Measure one point; unsupported (n, k) yields ``time=None``."""
+    """Measure one point; unsupported (n, k) yields an explicit
+    ``status="unsupported"`` row with ``time=None`` and the reason."""
     try:
         run = simulate_topk(
             algo,
@@ -134,9 +143,17 @@ def run_point(
             adversarial_m=adversarial_m,
             **algo_kwargs,
         )
-    except UnsupportedProblem:
+    except UnsupportedProblem as exc:
         return BenchPoint(
-            algo=algo, distribution=distribution, n=n, k=k, batch=batch, time=None
+            algo=algo,
+            distribution=distribution,
+            n=n,
+            k=k,
+            batch=batch,
+            time=None,
+            mode="unsupported",
+            status="unsupported",
+            detail=str(exc),
         )
     return BenchPoint(
         algo=algo,
@@ -146,6 +163,7 @@ def run_point(
         batch=batch,
         time=run.time,
         mode=run.mode,
+        detail=f"dispatch={run.dispatch}" if run.dispatch else "",
     )
 
 
@@ -161,32 +179,32 @@ def sweep(
     seed: int = 0,
     adversarial_m: int = 20,
     progress=None,
+    workers: int = 1,
+    timeout: float | None = None,
 ) -> SweepResult:
-    """Run the full cartesian grid; k > n points are skipped.
+    """Run the full cartesian grid; k > n points are recorded as
+    ``unsupported`` rows (they are not runnable for any algorithm).
 
     ``progress`` is an optional callable invoked with each finished
     :class:`BenchPoint` (benchmark scripts use it for live output).
+    ``workers`` > 1 shards the grid across a process pool via
+    :func:`repro.exec.parallel_sweep` — results are identical to the
+    serial run, in the same order.  ``timeout`` bounds each point's wall
+    clock in seconds (exceeding it yields a ``timeout`` row).
     """
-    result = SweepResult()
-    for distribution in distributions:
-        for batch in batches:
-            for n in ns:
-                for k in ks:
-                    if k > n:
-                        continue
-                    for algo in algos:
-                        point = run_point(
-                            algo,
-                            distribution=distribution,
-                            n=n,
-                            k=k,
-                            batch=batch,
-                            spec=spec,
-                            cap=cap,
-                            seed=seed,
-                            adversarial_m=adversarial_m,
-                        )
-                        result.add(point)
-                        if progress is not None:
-                            progress(point)
-    return result
+    from ..exec import parallel_sweep  # lazy: repro.exec imports this module
+
+    return parallel_sweep(
+        algos=algos,
+        distributions=distributions,
+        ns=ns,
+        ks=ks,
+        batches=batches,
+        spec=spec,
+        cap=cap,
+        seed=seed,
+        adversarial_m=adversarial_m,
+        workers=workers,
+        timeout=timeout,
+        progress=(None if progress is None else lambda ev: progress(ev.point)),
+    )

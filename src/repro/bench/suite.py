@@ -52,8 +52,17 @@ def run_paper_suite(
     cap: int = 1 << 18,
     full: bool = False,
     seed: int = 0,
+    workers: int = 1,
+    timeout: float | None = None,
+    progress=None,
 ) -> PaperSuiteResult:
-    """Run every Section-5 experiment; ``full=True`` uses the paper grids."""
+    """Run every Section-5 experiment; ``full=True`` uses the paper grids.
+
+    ``workers``/``timeout``/``progress`` are forwarded to the sweep engine
+    (:func:`repro.exec.parallel_sweep`) for the two big grids; the
+    single-point experiments (timelines, ablations, devices, ANN) always
+    run inline.
+    """
     t0 = time.perf_counter()
     result = PaperSuiteResult()
     out = Path(out_dir) if out_dir is not None else None
@@ -70,6 +79,9 @@ def run_paper_suite(
         batches=(1,),
         cap=cap,
         seed=seed,
+        workers=workers,
+        timeout=timeout,
+        progress=progress,
     )
     b100 = sweep(
         distributions=("uniform", "normal", "adversarial"),
@@ -78,6 +90,9 @@ def run_paper_suite(
         batches=(100,),
         cap=cap,
         seed=seed,
+        workers=workers,
+        timeout=timeout,
+        progress=progress,
     )
     for p in b100.points:
         grid.add(p)

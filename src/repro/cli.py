@@ -4,7 +4,8 @@ Examples::
 
     python -m repro topk --n 2^20 --k 100 --algo air_topk
     python -m repro compare --n 2^22 --k 256 --distribution adversarial
-    python -m repro sweep --vary n --k 256 --points 2^12:2^26
+    python -m repro sweep --vary n --k 256 --points 2^12:2^26 --workers 4
+    python -m repro auto --n 2^24 --k 1024
     python -m repro table2
 """
 
@@ -16,12 +17,14 @@ import sys
 from . import available_algorithms
 from .bench import (
     ALL_ALGORITHMS,
+    format_dispatch_table,
     format_table,
     format_time,
     plot_sweep,
     run_paper_suite,
     sweep,
     table2,
+    write_csv,
 )
 from .datagen import DISTRIBUTIONS
 from .device import PRESETS, get_spec
@@ -64,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_exec(p):
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="processes to shard the sweep grid across (1 = run inline)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-point wall-clock budget in seconds (over-budget points "
+            "become 'timeout' rows)",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="print live progress with ETA to stderr",
+        )
+
     def add_common(p):
         p.add_argument("--n", type=_size, default=1 << 20, help="list length")
         p.add_argument("--k", type=_size, default=256, help="results per problem")
@@ -103,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep N or K and plot the series")
     add_common(p_sweep)
+    add_exec(p_sweep)
     p_sweep.add_argument("--vary", choices=("n", "k"), default="n")
     p_sweep.add_argument(
         "--points",
@@ -110,10 +134,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="swept values, '2^12:2^26' or comma list",
     )
+    p_sweep.add_argument(
+        "--csv", default=None, help="also write every point to this CSV file"
+    )
+    p_sweep.add_argument(
+        "--with-auto",
+        action="store_true",
+        help="include the 'auto' dispatcher in the sweep and print where it "
+        "sent each point",
+    )
+
+    p_auto = sub.add_parser(
+        "auto",
+        help="cost-model dispatch: predict the fastest algorithm and run it",
+    )
+    add_common(p_auto)
+    p_auto.add_argument(
+        "--calibration",
+        default=None,
+        help="JSON measurement cache (repro.perf.CalibrationCache) used to "
+        "refine the analytic predictions",
+    )
 
     p_t2 = sub.add_parser("table2", help="reproduce the paper's Table 2 (reduced grid)")
     p_t2.add_argument("--cap", type=_size, default=DEFAULT_EXACT_CAP)
     p_t2.add_argument("--seed", type=int, default=0)
+    add_exec(p_t2)
 
     p_rep = sub.add_parser(
         "reproduce", help="run the paper's full Section-5 evaluation"
@@ -122,8 +168,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--seed", type=int, default=0)
     p_rep.add_argument("--full", action="store_true", help="paper-size grids")
     p_rep.add_argument("--out", default=None, help="directory for CSV/txt output")
+    add_exec(p_rep)
 
     return parser
+
+
+def _progress_printer(enabled: bool):
+    """Build a ProgressEvent callback rendering a live status line, or None."""
+    if not enabled:
+        return None
+
+    def show(ev) -> None:
+        eta = "?" if ev.eta_s is None else f"{ev.eta_s:.0f}s"
+        line = (
+            f"\r[{ev.done}/{ev.total}] {ev.fraction * 100:5.1f}%  "
+            f"elapsed {ev.elapsed_s:.0f}s  eta {eta}  "
+            f"last: {ev.point.algo} n={ev.point.n} k={ev.point.k} "
+            f"({ev.point.status})"
+        )
+        end = "\n" if ev.done == ev.total else ""
+        print(f"{line:<78}", end=end, file=sys.stderr, flush=True)
+
+    return show
+
+
+def _point_progress(enabled: bool, total: int | None = None):
+    """Per-point progress callback for code paths taking BenchPoint."""
+    if not enabled:
+        return None
+    state = {"done": 0}
+
+    def show(point) -> None:
+        state["done"] += 1
+        suffix = f"/{total}" if total else ""
+        print(
+            f"\r[{state['done']}{suffix}] {point.algo} n={point.n} "
+            f"k={point.k} ({point.status})".ljust(70),
+            end="",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return show
 
 
 def cmd_topk(args) -> int:
@@ -187,7 +273,8 @@ def cmd_compare(args) -> int:
         except Exception as exc:  # UnsupportedProblem etc.
             rows.append((float("inf"), algo, "-", str(exc)[:40]))
             continue
-        rows.append((run.time, algo, format_time(run.time), run.mode))
+        note = run.mode if run.dispatch is None else f"{run.mode} -> {run.dispatch}"
+        rows.append((run.time, algo, format_time(run.time), note))
     rows.sort()
     print(
         f"n={args.n:,} k={args.k} batch={args.batch} "
@@ -203,6 +290,8 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from .exec import parallel_sweep
+
     points = args.points
     if points is None:
         points = (
@@ -212,7 +301,9 @@ def cmd_sweep(args) -> int:
         )
     ns = points if args.vary == "n" else (args.n,)
     ks = points if args.vary == "k" else (args.k,)
-    result = sweep(
+    algos = ALL_ALGORITHMS + ("auto",) if args.with_auto else ALL_ALGORITHMS
+    result = parallel_sweep(
+        algos=algos,
         distributions=(args.distribution,),
         ns=ns,
         ks=ks,
@@ -220,23 +311,84 @@ def cmd_sweep(args) -> int:
         spec=get_spec(args.gpu),
         cap=args.cap,
         seed=args.seed,
+        workers=args.workers,
+        timeout=args.timeout,
+        progress=_progress_printer(args.progress),
     )
-    fixed = {"k": args.k} if args.vary == "n" else {"n": args.n}
-    print(
-        plot_sweep(
-            result,
-            algos=ALL_ALGORITHMS,
-            distribution=args.distribution,
-            batch=args.batch,
-            vary=args.vary,
-            fixed=fixed,
+    if args.csv:
+        # write before plotting so status rows survive even when nothing
+        # measured (e.g. every point timed out)
+        path = write_csv(result.points, args.csv)
+        print(f"wrote {len(result.points)} points to {path}")
+    if any(p.time is not None for p in result.points):
+        fixed = {"k": args.k} if args.vary == "n" else {"n": args.n}
+        print(
+            plot_sweep(
+                result,
+                algos=algos,
+                distribution=args.distribution,
+                batch=args.batch,
+                vary=args.vary,
+                fixed=fixed,
+            )
         )
+    else:
+        from collections import Counter
+
+        counts = Counter(p.status for p in result.points)
+        summary = ", ".join(f"{v} {s}" for s, v in sorted(counts.items()))
+        print(f"no measured points to plot ({summary})")
+    if args.with_auto:
+        print("\nauto dispatch choices:")
+        print(format_dispatch_table(result.points))
+    return 0
+
+
+def cmd_auto(args) -> int:
+    from .perf.calibration import CalibrationCache
+    from .perf.costmodel import rank_algorithms
+
+    calibration = None
+    if args.calibration:
+        calibration = CalibrationCache.load(args.calibration)
+    spec = get_spec(args.gpu)
+    ranking = rank_algorithms(
+        n=args.n, k=args.k, batch=args.batch, spec=spec, calibration=calibration
+    )
+    print(
+        f"cost-model ranking for n={args.n:,} k={args.k} batch={args.batch} "
+        f"on {args.gpu}:"
+    )
+    print(
+        format_table(
+            ["rank", "algorithm", "predicted", "source"],
+            [
+                (i + 1, p.algo, format_time(p.time), p.source)
+                for i, p in enumerate(ranking)
+            ],
+        )
+    )
+    run = simulate_topk(
+        "auto",
+        distribution=args.distribution,
+        n=args.n,
+        k=args.k,
+        batch=args.batch,
+        spec=spec,
+        cap=args.cap,
+        seed=args.seed,
+        calibration=calibration,
+    )
+    print(
+        f"\ndispatched to: {run.dispatch}\n"
+        f"simulated time: {format_time(run.time)}  [{run.mode} mode]"
     )
     return 0
 
 
 def cmd_table2(args) -> int:
     ns = [1 << p for p in (11, 15, 20, 25, 30)]
+    progress = _point_progress(args.progress)
     result = sweep(
         distributions=("uniform", "normal", "adversarial"),
         ns=ns,
@@ -244,6 +396,9 @@ def cmd_table2(args) -> int:
         batches=(1,),
         cap=args.cap,
         seed=args.seed,
+        workers=args.workers,
+        timeout=args.timeout,
+        progress=progress,
     )
     batch100 = sweep(
         distributions=("uniform", "normal", "adversarial"),
@@ -252,7 +407,12 @@ def cmd_table2(args) -> int:
         batches=(100,),
         cap=args.cap,
         seed=args.seed,
+        workers=args.workers,
+        timeout=args.timeout,
+        progress=progress,
     )
+    if progress is not None:
+        print(file=sys.stderr)
     for p in batch100.points:
         result.add(p)
     rows = table2(result)
@@ -275,9 +435,18 @@ def cmd_table2(args) -> int:
 
 
 def cmd_reproduce(args) -> int:
+    progress = _point_progress(args.progress)
     suite = run_paper_suite(
-        out_dir=args.out, cap=args.cap, full=args.full, seed=args.seed
+        out_dir=args.out,
+        cap=args.cap,
+        full=args.full,
+        seed=args.seed,
+        workers=args.workers,
+        timeout=args.timeout,
+        progress=progress,
     )
+    if progress is not None:
+        print(file=sys.stderr)
     print(suite.render())
     return 0
 
@@ -286,6 +455,7 @@ COMMANDS = {
     "topk": cmd_topk,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "auto": cmd_auto,
     "table2": cmd_table2,
     "reproduce": cmd_reproduce,
 }

@@ -68,6 +68,10 @@ class GridSelect(TopKAlgorithm):
         blocks = self.num_blocks(device.spec, ctx.nominal_n)
 
         slices, offsets = slice_rows(ctx.keys, blocks)
+        # real elements per slice: trailing slices of a row may be padded
+        per = slices.shape[1]
+        starts = np.tile(np.arange(blocks, dtype=np.int64) * per, batch)
+        lengths = np.clip(n - starts, 0, per)
         if self.queue == "shared":
             result = emulate_queue_select(
                 slices,
@@ -75,6 +79,7 @@ class GridSelect(TopKAlgorithm):
                 lanes=self.block_threads,
                 mode="shared",
                 queue_len=cal.SHARED_QUEUE_LEN,
+                valid_lengths=lengths,
             )
         else:
             result = emulate_queue_select(
@@ -83,6 +88,7 @@ class GridSelect(TopKAlgorithm):
                 lanes=self.block_threads,
                 mode="thread",
                 queue_len=cal.THREAD_QUEUE_LEN,
+                valid_lengths=lengths,
             )
         # local slice positions -> original row positions
         block_idx = np.where(
@@ -96,7 +102,9 @@ class GridSelect(TopKAlgorithm):
         # final merge kernel: one block per problem reduces the per-block
         # top-k candidates to the global top-k; with a single block the
         # block result already is the answer and the kernel is skipped
-        order = np.argsort(block_keys, axis=1, kind="stable")[:, : ctx.k]
+        # validity-secondary sort: per-block padding (idx -1) carries the
+        # sentinel key, which a real element's key can equal on integer data
+        order = np.lexsort((block_idx < 0, block_keys))[:, : ctx.k]
         out_keys = np.take_along_axis(block_keys, order, axis=1)
         out_idx = np.take_along_axis(block_idx, order, axis=1)
         if blocks > 1:

@@ -1,0 +1,31 @@
+"""Parallel sweep execution engine (see :mod:`repro.exec.engine`)."""
+
+from .engine import (
+    SEED_MODES,
+    ProgressEvent,
+    build_grid,
+    default_chunk_size,
+    parallel_sweep,
+)
+from .worker import (
+    DEFAULT_RETRIES,
+    PointSpec,
+    PointTimeout,
+    execute_chunk,
+    execute_point,
+    point_seed,
+)
+
+__all__ = [
+    "SEED_MODES",
+    "ProgressEvent",
+    "build_grid",
+    "default_chunk_size",
+    "parallel_sweep",
+    "DEFAULT_RETRIES",
+    "PointSpec",
+    "PointTimeout",
+    "execute_chunk",
+    "execute_point",
+    "point_seed",
+]

@@ -1,0 +1,237 @@
+"""Parallel sweep execution engine.
+
+The figure sweeps of ``repro.bench`` are embarrassingly parallel — every
+(algorithm, distribution, N, K, batch) point is an independent pure
+function of its coordinates — but the seed runner executed them serially.
+This engine shards any benchmark grid across a ``multiprocessing`` pool:
+
+* **chunked work stealing** — pending points are cut into many small
+  chunks consumed through ``imap_unordered``, so an idle worker always
+  steals the next chunk instead of waiting on a static partition;
+* **deterministic results** — every point carries its grid index; results
+  are reassembled into exact grid order, and each point's seed is a pure
+  function of the sweep seed (and, under ``seed_mode="per-point"``, of the
+  problem coordinates), so ``workers=1`` and ``workers=N`` produce
+  byte-identical CSV rows (pinned by tests/test_exec_engine.py);
+* **failure isolation** — a crashing point is retried once and then
+  recorded as an ``error`` row, an overrunning point as a ``timeout`` row
+  (see :mod:`repro.exec.worker`); one bad point cannot kill a sweep;
+* **progress/ETA** — an optional callback receives a
+  :class:`ProgressEvent` per finished point (the CLI renders these).
+
+``repro.bench.runner.sweep`` delegates here, so every existing sweep —
+including ``run_paper_suite`` — gains ``workers=``/``timeout=`` for free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..bench.runner import ALL_ALGORITHMS, BenchPoint, SweepResult
+from ..device import A100, GPUSpec
+from ..perf import DEFAULT_EXACT_CAP
+from .worker import (
+    DEFAULT_RETRIES,
+    PointSpec,
+    execute_chunk,
+    execute_point,
+    point_seed,
+)
+
+SEED_MODES = ("shared", "per-point")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finished point, with sweep-level completion accounting."""
+
+    #: points finished so far (including this one)
+    done: int
+    #: total points in the grid
+    total: int
+    #: wall-clock seconds since the sweep started
+    elapsed_s: float
+    #: estimated seconds remaining (None until one point has finished)
+    eta_s: float | None
+    #: the finished point
+    point: BenchPoint
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+
+def build_grid(
+    *,
+    algos: Sequence[str] = ALL_ALGORITHMS,
+    distributions: Sequence[str] = ("uniform",),
+    ns: Iterable[int] = (1 << 20,),
+    ks: Iterable[int] = (256,),
+    batches: Iterable[int] = (1,),
+    spec: GPUSpec = A100,
+    cap: int = DEFAULT_EXACT_CAP,
+    seed: int = 0,
+    adversarial_m: int = 20,
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    seed_mode: str = "shared",
+) -> list[PointSpec | BenchPoint]:
+    """Expand a sweep grid into ordered slots.
+
+    Each slot is either a :class:`PointSpec` to execute, or an
+    already-final :class:`BenchPoint` for points no algorithm can run
+    (k > n), recorded as explicit ``unsupported`` rows rather than
+    silently dropped — the paper's SOTA denominators stay auditable.
+    The nesting order (distribution, batch, n, k, algorithm) matches the
+    seed serial runner exactly.
+    """
+    if seed_mode not in SEED_MODES:
+        raise ValueError(f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}")
+    slots: list[PointSpec | BenchPoint] = []
+    for distribution in distributions:
+        for batch in batches:
+            for n in ns:
+                for k in ks:
+                    for algo in algos:
+                        if k > n:
+                            slots.append(
+                                BenchPoint(
+                                    algo=algo,
+                                    distribution=distribution,
+                                    n=n,
+                                    k=k,
+                                    batch=batch,
+                                    time=None,
+                                    mode="unsupported",
+                                    status="unsupported",
+                                    detail=f"k={k} exceeds n={n}",
+                                )
+                            )
+                            continue
+                        if seed_mode == "per-point":
+                            s = point_seed(
+                                seed,
+                                distribution=distribution,
+                                n=n,
+                                k=k,
+                                batch=batch,
+                            )
+                        else:
+                            s = seed
+                        slots.append(
+                            PointSpec(
+                                index=len(slots),
+                                algo=algo,
+                                distribution=distribution,
+                                n=n,
+                                k=k,
+                                batch=batch,
+                                spec=spec,
+                                cap=cap,
+                                seed=s,
+                                adversarial_m=adversarial_m,
+                                timeout=timeout,
+                                retries=retries,
+                            )
+                        )
+    return slots
+
+
+def default_chunk_size(pending: int, workers: int) -> int:
+    """Small chunks so the pool self-balances (work stealing), but not so
+    small that per-chunk dispatch overhead dominates tiny points."""
+    if pending <= 0:
+        return 1
+    return max(1, -(-pending // (workers * 8)))
+
+
+def parallel_sweep(
+    *,
+    algos: Sequence[str] = ALL_ALGORITHMS,
+    distributions: Sequence[str] = ("uniform",),
+    ns: Iterable[int] = (1 << 20,),
+    ks: Iterable[int] = (256,),
+    batches: Iterable[int] = (1,),
+    spec: GPUSpec = A100,
+    cap: int = DEFAULT_EXACT_CAP,
+    seed: int = 0,
+    adversarial_m: int = 20,
+    workers: int = 1,
+    timeout: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    chunk_size: int | None = None,
+    seed_mode: str = "shared",
+    progress: Callable[[ProgressEvent], None] | None = None,
+) -> SweepResult:
+    """Run a benchmark grid, sharded over ``workers`` processes.
+
+    Returns the same :class:`SweepResult`, with points in the same order,
+    as a serial sweep — parallelism is an execution detail, not a result
+    change.  ``workers=1`` runs inline in the calling process (no pool).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    slots = build_grid(
+        algos=algos,
+        distributions=distributions,
+        ns=ns,
+        ks=ks,
+        batches=batches,
+        spec=spec,
+        cap=cap,
+        seed=seed,
+        adversarial_m=adversarial_m,
+        timeout=timeout,
+        retries=retries,
+        seed_mode=seed_mode,
+    )
+    total = len(slots)
+    started = time.perf_counter()
+    done = 0
+
+    def emit(point: BenchPoint) -> None:
+        nonlocal done
+        done += 1
+        if progress is None:
+            return
+        elapsed = time.perf_counter() - started
+        eta = (elapsed / done) * (total - done) if done else None
+        progress(
+            ProgressEvent(
+                done=done, total=total, elapsed_s=elapsed, eta_s=eta, point=point
+            )
+        )
+
+    points: list[BenchPoint | None] = [None] * total
+    pending = [slot for slot in slots if isinstance(slot, PointSpec)]
+
+    if workers == 1 or len(pending) <= 1:
+        # inline: same process, grid order — the determinism reference
+        for i, slot in enumerate(slots):
+            point = slot if isinstance(slot, BenchPoint) else execute_point(slot)
+            points[i] = point
+            emit(point)
+    else:
+        for i, slot in enumerate(slots):
+            if isinstance(slot, BenchPoint):
+                points[i] = slot
+                emit(slot)
+        size = chunk_size or default_chunk_size(len(pending), workers)
+        chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+        pool_size = min(workers, len(chunks))
+        with multiprocessing.get_context().Pool(processes=pool_size) as pool:
+            for pairs in pool.imap_unordered(execute_chunk, chunks):
+                for index, point in pairs:
+                    points[index] = point
+                    emit(point)
+
+    result = SweepResult()
+    for point in points:
+        assert point is not None  # every slot is filled by construction
+        result.add(point)
+    return result

@@ -1,0 +1,128 @@
+"""Worker-side execution of sweep points: seeding, timeout, retry.
+
+Everything here must be importable at module top level so a
+``multiprocessing`` pool can run it under any start method (fork *or*
+spawn).  A :class:`PointSpec` is a fully picklable description of one
+benchmark point; :func:`execute_chunk` turns a chunk of them into
+``(grid_index, BenchPoint)`` pairs, never raising: a crashing point is
+retried once and then recorded as an ``error`` row, an overrunning point
+as a ``timeout`` row, so one bad point cannot kill a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..bench.runner import BenchPoint, run_point
+from ..device import GPUSpec
+
+#: how many times a crashing point is re-attempted before an error row
+DEFAULT_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Picklable description of one grid point, tagged with its grid slot."""
+
+    index: int
+    algo: str
+    distribution: str
+    n: int
+    k: int
+    batch: int
+    spec: GPUSpec
+    cap: int
+    seed: int
+    adversarial_m: int
+    timeout: float | None = None
+    retries: int = DEFAULT_RETRIES
+
+
+def point_seed(base_seed: int, *, distribution: str, n: int, k: int, batch: int) -> int:
+    """Deterministic per-point seed, stable across processes and runs.
+
+    Derived by hashing the problem coordinates into the base seed (sha256,
+    not ``hash()`` — the latter is salted per process for strings).  Used
+    by the engine's ``seed_mode="per-point"``; the default ``"shared"``
+    mode reuses ``base_seed`` everywhere, matching the serial sweeps the
+    paper figures are built from.
+    """
+    text = f"{base_seed}:{distribution}:{n}:{k}:{batch}"
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**32)
+
+
+class PointTimeout(Exception):
+    """Raised inside a worker when a point exceeds its wall-clock budget."""
+
+
+@contextmanager
+def _alarm(timeout: float | None):
+    """SIGALRM-based wall-clock guard (POSIX; a no-op where unavailable)."""
+    if timeout is None or not hasattr(signal, "setitimer"):
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise PointTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure_point(spec: PointSpec, status: str, detail: str) -> BenchPoint:
+    return BenchPoint(
+        algo=spec.algo,
+        distribution=spec.distribution,
+        n=spec.n,
+        k=spec.k,
+        batch=spec.batch,
+        time=None,
+        mode=status,
+        status=status,
+        detail=detail,
+    )
+
+
+def execute_point(spec: PointSpec) -> BenchPoint:
+    """Run one point; failures become recorded rows, never exceptions."""
+    attempts = 1 + max(0, spec.retries)
+    last_error = ""
+    for _ in range(attempts):
+        try:
+            with _alarm(spec.timeout):
+                return run_point(
+                    spec.algo,
+                    distribution=spec.distribution,
+                    n=spec.n,
+                    k=spec.k,
+                    batch=spec.batch,
+                    spec=spec.spec,
+                    cap=spec.cap,
+                    seed=spec.seed,
+                    adversarial_m=spec.adversarial_m,
+                )
+        except PointTimeout:
+            # a timed-out point is not retried: it would only time out again
+            return _failure_point(
+                spec, "timeout", f"exceeded {spec.timeout:g}s wall clock"
+            )
+        except Exception as exc:  # noqa: BLE001 — the row records the cause
+            last_error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+    return _failure_point(spec, "error", last_error)
+
+
+def execute_chunk(chunk: list[PointSpec]) -> list[tuple[int, BenchPoint]]:
+    """Pool entry point: run a chunk, returning (grid_index, point) pairs."""
+    return [(spec.index, execute_point(spec)) for spec in chunk]

@@ -22,7 +22,11 @@ latency term for serially dependent work:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+from . import calibration as cal
 
 
 @dataclass(frozen=True)
@@ -147,3 +151,475 @@ class KernelCostModel:
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
         return self.spec.pcie_latency + nbytes / self.spec.pcie_bandwidth
+
+
+# --------------------------------------------------------------------------
+# Whole-run prediction — the dispatch query API.
+#
+# ``predict_topk_time`` prices a complete top-k run from the problem shape
+# alone, without generating data or executing an algorithm.  It replays each
+# method's launch sequence analytically: the same launch shapes, calibration
+# constants and per-launch overheads the simulated implementations charge,
+# with *expected* (distribution-free) values substituted for data-dependent
+# quantities (survivor counts assume a smooth value distribution; queue
+# insert counts use the E[inserts] ~ K ln(N/K) streaming bound).  The
+# ``auto`` registry algorithm ranks these predictions to choose a concrete
+# method per problem; accuracy is judged by ranking fidelity, not absolute
+# microseconds (see tests/test_costmodel.py and the differential suite).
+# --------------------------------------------------------------------------
+
+#: algorithms the analytic predictor understands
+PREDICTABLE_ALGORITHMS = (
+    "air_topk",
+    "grid_select",
+    "sort",
+    "radix_select",
+    "warp_select",
+    "block_select",
+    "bitonic_topk",
+    "quick_select",
+    "bucket_select",
+    "sample_select",
+    "drtopk_hybrid",
+)
+
+
+@dataclass(frozen=True)
+class TopKPrediction:
+    """Predicted run time of one algorithm on one problem shape."""
+
+    algo: str
+    #: predicted wall-clock seconds (analytic, optionally calibrated)
+    time: float
+    #: "model" for a pure analytic estimate, "calibrated" when refined by
+    #: measured data from a :class:`repro.perf.calibration.CalibrationCache`
+    source: str = "model"
+
+
+def _stream_shape(spec, elems: float) -> LaunchShape:
+    """Launch shape of a streaming kernel over ``elems`` items."""
+    from ..device import streaming_grid  # lazy: device imports this module
+
+    grid = streaming_grid(
+        spec,
+        max(1, int(elems)),
+        items_per_thread=int(cal.STREAM_ITEMS_PER_THREAD),
+    )
+    return LaunchShape(grid, 256)
+
+
+def _expected_inserts(n: float, k: float) -> float:
+    """E[top-k structure updates] over a random-order stream of n items."""
+    if n <= 0 or k <= 0:
+        return 0.0
+    return k * (1.0 + math.log(max(n / k, 1.0)))
+
+
+def _sort_comparators(m: float) -> float:
+    """Comparators of a bitonic sort network over m (power-of-two) keys."""
+    if m <= 1:
+        return 0.0
+    stages = math.log2(m)
+    return m * stages * (stages + 1) / 4.0
+
+
+def _predict_sort(model: KernelCostModel, spec, n: int, k: int, batch: int) -> float:
+    """Full radix sort (onesweep) per problem row, then copy the head."""
+    shape = _stream_shape(spec, n)
+    passes = 4  # 8-bit digits over 32-bit keys
+    hist = model.price(
+        shape,
+        bytes_read=4.0 * n,
+        bytes_written=passes * 256 * 4.0,
+        flops=cal.HISTOGRAM_OPS_PER_ELEM * n,
+    )
+    onesweep = model.price(
+        shape,
+        bytes_read=8.0 * n,
+        bytes_written=8.0 * n,
+        flops=cal.SORT_PASS_OPS_PER_ELEM * n,
+    )
+    copy = model.price(
+        _stream_shape(spec, k), bytes_read=8.0 * k, bytes_written=8.0 * k,
+        flops=2.0 * k,
+    )
+    per_row = (
+        hist.duration
+        + passes * onesweep.duration
+        + copy.duration
+        + (passes + 2) * spec.kernel_launch_latency
+    )
+    return batch * per_row + spec.sync_latency
+
+
+def _predict_radix_select(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """Host-coordinated RadixSelect: per-iteration sync/PCIe/host costs."""
+    buckets = 256
+    passes = 4
+    per_row = cal.HOST_ALLOC_SECONDS
+    per_row += (
+        model.price(_stream_shape(spec, n), bytes_written=4.0 * n, flops=1.0 * n).duration
+        + spec.kernel_launch_latency
+    )
+    count = float(n)
+    for _ in range(passes):
+        shape = _stream_shape(spec, count)
+        per_row += model.price(
+            shape,
+            bytes_read=4.0 * count,
+            bytes_written=buckets * 4.0,
+            flops=cal.HISTOGRAM_OPS_PER_ELEM * count,
+        ).duration
+        per_row += spec.sync_latency + model.pcie_time(buckets * 4.0)
+        per_row += cal.HOST_RADIX_ITER_SECONDS + model.pcie_time(64.0)
+        survivors = max(float(k), count / buckets)
+        per_row += model.price(
+            shape,
+            bytes_read=8.0 * count,
+            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * survivors,
+            flops=cal.FILTER_OPS_PER_ELEM * count,
+        ).duration
+        per_row += 2 * spec.kernel_launch_latency + spec.sync_latency
+        count = survivors
+        if count <= k:
+            break
+    return batch * per_row
+
+
+def _predict_partition_family(
+    model: KernelCostModel,
+    spec,
+    n: int,
+    k: int,
+    batch: int,
+    *,
+    shrink: float,
+    extra_ops_per_elem: float = 0.0,
+    extra_per_iter: float = 0.0,
+) -> float:
+    """Shared shape of QuickSelect / BucketSelect / SampleSelect.
+
+    Each iteration scans the surviving candidates, partitions them (pivot /
+    256 buckets / sampled splitters), ships a histogram to the host and
+    recurses into the bucket holding the k-th element; ``shrink`` is the
+    expected survivor fraction per iteration.
+    """
+    per_row = cal.HOST_ALLOC_SECONDS
+    count = float(n)
+    while True:
+        shape = _stream_shape(spec, count)
+        per_row += model.price(
+            shape,
+            bytes_read=4.0 * count,
+            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * max(k, count * shrink),
+            flops=(cal.PARTITION_OPS_PER_ELEM + extra_ops_per_elem) * count,
+        ).duration
+        per_row += (
+            spec.sync_latency
+            + model.pcie_time(256 * 4.0)
+            + cal.HOST_SCAN_SECONDS
+            + cal.HOST_PIVOT_SECONDS
+            + 2 * spec.kernel_launch_latency
+            + extra_per_iter
+        )
+        nxt = count * shrink
+        if nxt <= k or count <= k:
+            break
+        count = nxt
+    return batch * per_row
+
+
+def _predict_thread_queue(
+    model: KernelCostModel, spec, n: int, k: int, batch: int, *, lanes: int
+) -> float:
+    """WarpSelect / BlockSelect: one ``lanes``-thread block per problem."""
+    shape = LaunchShape(batch, lanes)
+    inserts = _expected_inserts(n, k) * batch
+    flushes = inserts / (lanes * cal.THREAD_QUEUE_LEN)
+    flush_comps = _sort_comparators(2 ** math.ceil(math.log2(max(2, 2 * k))))
+    rounds = -(-n // lanes)
+    dependent = (
+        rounds * cal.ROUND_CYCLES_THREAD_QUEUE
+        + (flushes / batch) * (flush_comps / lanes)
+        * cal.FLUSH_CYCLES_PER_LANE_COMPARATOR
+        + cal.QUEUE_KERNEL_FIXED_CYCLES
+        + batch * cal.QUEUE_PER_PROBLEM_CYCLES
+    )
+    kernel = model.price(
+        shape,
+        bytes_read=4.0 * batch * n,
+        bytes_written=8.0 * batch * k,
+        flops=(
+            cal.THREAD_QUEUE_OPS_PER_ELEM
+            * cal.queue_k_ops_factor(k)
+            * batch
+            * n
+            + cal.OPS_PER_COMPARATOR * flushes * flush_comps
+        ),
+        dependent_cycles=dependent,
+        warp_efficiency=cal.WARP_EFFICIENCY_THREAD_QUEUE,
+    )
+    return kernel.duration + spec.kernel_launch_latency + spec.sync_latency
+
+
+def _grid_select_blocks(spec, n: int) -> int:
+    """Blocks per problem used by GridSelect (mirrors GridSelect.num_blocks)."""
+    per_block = 256 * cal.STREAM_ITEMS_PER_THREAD * 16
+    needed = -(-n // int(per_block))
+    return max(1, min(needed, 2 * spec.sm_count))
+
+
+def _predict_grid_select(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    blocks = _grid_select_blocks(spec, n)
+    shape = LaunchShape(batch * blocks, 256)
+    slice_len = -(-n // blocks)
+    inserts = _expected_inserts(slice_len, min(k, slice_len)) * blocks * batch
+    flushes = inserts / cal.SHARED_QUEUE_LEN
+    flush_comps = _sort_comparators(2 ** math.ceil(math.log2(max(2, 2 * k))))
+    dependent = (
+        (-(-slice_len // 256)) * cal.ROUND_CYCLES_SHARED_QUEUE
+        + (flushes / (batch * blocks)) * (flush_comps / 256)
+        * cal.FLUSH_CYCLES_PER_LANE_COMPARATOR
+        + cal.GRID_KERNEL_FIXED_CYCLES
+        + batch * cal.QUEUE_PER_PROBLEM_CYCLES
+    )
+    t = model.price(
+        shape,
+        bytes_read=4.0 * batch * n,
+        bytes_written=8.0 * batch * blocks * k,
+        flops=(
+            cal.SHARED_QUEUE_OPS_PER_ELEM
+            * cal.queue_k_ops_factor(k)
+            * batch
+            * n
+            + cal.OPS_PER_COMPARATOR * flushes * flush_comps
+        ),
+        dependent_cycles=dependent,
+        warp_efficiency=cal.WARP_EFFICIENCY_SHARED_QUEUE,
+    ).duration
+    t += spec.kernel_launch_latency
+    if blocks > 1:
+        merge_elems = batch * blocks * k
+        t += model.price(
+            LaunchShape(batch, 256),
+            bytes_read=8.0 * merge_elems,
+            bytes_written=8.0 * batch * k,
+            flops=cal.OPS_PER_COMPARATOR
+            * batch
+            * _sort_comparators(2 ** math.ceil(math.log2(max(2, blocks * k)))),
+        ).duration
+        t += spec.kernel_launch_latency
+    return t + spec.sync_latency
+
+
+def _predict_air_topk(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """AIR Top-K: 3 fused kernels + last filter, no host round trips."""
+    buckets = 1 << 11
+    shape = _stream_shape(spec, n * batch)
+    alpha = 128.0
+    c1 = max(1.0, min(float(n), n / buckets + k))
+    c2 = max(1.0, min(c1, c1 / buckets + k))
+    fixed_hist = batch * buckets * 4.0
+    per_launch_dep = batch * cal.AIR_PER_PROBLEM_CYCLES
+    t = model.price(  # kernel 1: scan all of N, histogram digit 0
+        shape,
+        bytes_read=4.0 * n * batch,
+        bytes_written=fixed_hist,
+        flops=cal.FUSED_KERNEL_OPS_PER_ELEM * n * batch,
+        dependent_cycles=per_launch_dep,
+    ).duration
+    # kernel 2 rescans N (pass 1 never buffers), buffers its survivors
+    buffer1 = c1 < n / alpha
+    t += model.price(
+        shape,
+        bytes_read=4.0 * n * batch,
+        bytes_written=fixed_hist
+        + (cal.ATOMIC_SCATTER_PENALTY * 8.0 * c1 * batch if buffer1 else 0.0),
+        flops=cal.FUSED_KERNEL_OPS_PER_ELEM * n * batch,
+        dependent_cycles=per_launch_dep,
+    ).duration
+    # kernel 3 reads the buffer (or rescans), buffers the final survivors
+    read3 = 8.0 * c1 * batch if buffer1 else 4.0 * n * batch
+    elems3 = c1 * batch if buffer1 else n * batch
+    buffer2 = c2 < n / alpha
+    t += model.price(
+        shape,
+        bytes_read=read3,
+        bytes_written=fixed_hist
+        + (cal.ATOMIC_SCATTER_PENALTY * 8.0 * c2 * batch if buffer2 else 0.0),
+        flops=cal.FUSED_KERNEL_OPS_PER_ELEM * elems3,
+        dependent_cycles=per_launch_dep,
+    ).duration
+    # last filter gathers the k results from the final candidates
+    read4 = 8.0 * c2 * batch if buffer2 else 4.0 * n * batch
+    elems4 = c2 * batch if buffer2 else n * batch
+    t += model.price(
+        shape,
+        bytes_read=read4,
+        bytes_written=8.0 * k * batch,
+        flops=cal.FILTER_OPS_PER_ELEM * elems4,
+        dependent_cycles=per_launch_dep,
+    ).duration
+    return t + 4 * spec.kernel_launch_latency + spec.sync_latency
+
+
+def _predict_bitonic(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    kp = 2 ** math.ceil(math.log2(max(2, k)))
+    runs = -(-n // kp)
+    shape = _stream_shape(spec, n)
+    per_row = model.price(
+        shape,
+        bytes_read=4.0 * n,
+        bytes_written=8.0 * n,
+        flops=cal.BITONIC_OPS_PER_COMPARATOR * runs * _sort_comparators(kp),
+        dependent_cycles=cal.BITONIC_KERNEL_FIXED_CYCLES,
+    ).duration + spec.kernel_launch_latency
+    m = runs
+    while m > 1:
+        pairs = (m + 1) // 2
+        elems = pairs * 2 * kp
+        merge_comps = kp * (math.log2(kp) / 2.0 + 1.0)
+        per_row += model.price(
+            _stream_shape(spec, elems),
+            bytes_read=8.0 * elems,
+            bytes_written=4.0 * elems,
+            flops=cal.BITONIC_OPS_PER_COMPARATOR * pairs * (kp + merge_comps),
+            dependent_cycles=cal.BITONIC_KERNEL_FIXED_CYCLES,
+        ).duration + spec.kernel_launch_latency
+        m = pairs
+    return batch * per_row + spec.sync_latency
+
+
+def _predict_drtopk_hybrid(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """Delegate hybrid: reduction + top-k over delegates + final top-k."""
+    g = max(1, int(math.sqrt(n / max(1, k))))
+    delegates = -(-n // g)
+    reduce_t = model.price(
+        _stream_shape(spec, n),
+        bytes_read=4.0 * n,
+        bytes_written=8.0 * delegates,
+        flops=2.0 * n,
+    ).duration
+    per_row = (
+        reduce_t
+        + spec.kernel_launch_latency
+        + _predict_air_topk(
+            model, spec, max(1, delegates), max(1, min(k, delegates)), 1
+        )
+        + _predict_air_topk(model, spec, max(1, k * g), max(1, min(k, k * g)), 1)
+    )
+    return batch * per_row
+
+
+def _predict(algo: str, model: KernelCostModel, spec, n: int, k: int, batch: int) -> float:
+    if algo == "sort":
+        return _predict_sort(model, spec, n, k, batch)
+    if algo == "radix_select":
+        return _predict_radix_select(model, spec, n, k, batch)
+    if algo == "quick_select":
+        return _predict_partition_family(model, spec, n, k, batch, shrink=0.5)
+    if algo == "bucket_select":
+        return _predict_partition_family(model, spec, n, k, batch, shrink=1 / 256)
+    if algo == "sample_select":
+        return _predict_partition_family(
+            model,
+            spec,
+            n,
+            k,
+            batch,
+            shrink=1 / 256,
+            extra_ops_per_elem=cal.SPLITTER_SEARCH_OPS_PER_ELEM,
+            extra_per_iter=model.price(
+                LaunchShape(1, 256), bytes_read=4.0 * 1024,
+                flops=cal.SORT_PASS_OPS_PER_ELEM * 1024,
+            ).duration,
+        )
+    if algo == "warp_select":
+        return _predict_thread_queue(model, spec, n, k, batch, lanes=32)
+    if algo == "block_select":
+        return _predict_thread_queue(
+            model, spec, n, k, batch, lanes=32 * cal.BLOCK_SELECT_WARPS
+        )
+    if algo == "grid_select":
+        return _predict_grid_select(model, spec, n, k, batch)
+    if algo == "air_topk":
+        return _predict_air_topk(model, spec, n, k, batch)
+    if algo == "bitonic_topk":
+        return _predict_bitonic(model, spec, n, k, batch)
+    if algo == "drtopk_hybrid":
+        return _predict_drtopk_hybrid(model, spec, n, k, batch)
+    raise KeyError(
+        f"no analytic prediction for {algo!r}; "
+        f"predictable: {PREDICTABLE_ALGORITHMS}"
+    )
+
+
+@lru_cache(maxsize=4096)
+def _predict_cached(algo: str, spec, n: int, k: int, batch: int) -> float:
+    return _predict(algo, KernelCostModel(spec), spec, n, k, batch)
+
+
+def predict_topk_time(algo: str, *, n: int, k: int, batch: int = 1, spec=None) -> float:
+    """Predicted run time (seconds) of ``algo`` on an (n, k, batch) problem.
+
+    Analytic only — see :func:`rank_algorithms` for calibrated ranking.
+    """
+    if n <= 0 or batch <= 0 or not 1 <= k <= n:
+        raise ValueError(f"invalid problem: n={n}, k={k}, batch={batch}")
+    if spec is None:
+        from ..device import A100  # lazy: device imports this module
+
+        spec = A100
+    return _predict_cached(algo, spec, int(n), int(k), int(batch))
+
+
+def rank_algorithms(
+    *,
+    n: int,
+    k: int,
+    batch: int = 1,
+    spec=None,
+    candidates=None,
+    calibration=None,
+) -> list[TopKPrediction]:
+    """Rank candidate algorithms by predicted time, fastest first.
+
+    ``candidates`` defaults to every predictable algorithm that supports
+    the (n, k) problem; ``calibration`` is an optional
+    :class:`repro.perf.calibration.CalibrationCache` whose measured data
+    refines the analytic estimates.  Ties break by name for determinism.
+    """
+    if spec is None:
+        from ..device import A100
+
+        spec = A100
+    if candidates is None:
+        candidates = PREDICTABLE_ALGORITHMS
+    from ..algos.registry import get_algorithm  # lazy: algos import perf
+
+    predictions: list[TopKPrediction] = []
+    for name in candidates:
+        if get_algorithm(name).supports(n, k) is not None:
+            continue
+        time = predict_topk_time(name, n=n, k=k, batch=batch, spec=spec)
+        source = "model"
+        if calibration is not None:
+            refined = calibration.refine(
+                name, predicted=time, n=n, k=k, batch=batch, spec_name=spec.name
+            )
+            if refined != time:
+                time, source = refined, "calibrated"
+        predictions.append(TopKPrediction(algo=name, time=time, source=source))
+    if not predictions:
+        raise ValueError(f"no candidate algorithm supports n={n}, k={k}")
+    return sorted(predictions, key=lambda p: (p.time, p.algo))

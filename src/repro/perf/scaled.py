@@ -60,6 +60,8 @@ class SimulatedRun:
     device: Device
     #: present for exact runs (used by integration tests), None when scaled
     result: TopKResult | None = None
+    #: concrete algorithm an ``auto`` run dispatched to, None otherwise
+    dispatch: str | None = None
 
 
 def scale_factors(
@@ -144,4 +146,5 @@ def simulate_topk(
         mode=mode,
         device=device,
         result=result if mode == "exact" else None,
+        dispatch=getattr(algorithm, "last_choice", None),
     )

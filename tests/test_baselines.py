@@ -23,9 +23,11 @@ from repro.datagen import generate
 
 class TestRegistry:
     def test_full_roster(self):
-        """The paper's Table 1 roster plus the two contributions."""
+        """The paper's Table 1 roster, the two contributions, and the
+        cost-model dispatcher."""
         assert available_algorithms() == [
             "air_topk",
+            "auto",
             "bitonic_topk",
             "block_select",
             "bucket_select",

@@ -51,6 +51,18 @@ class TestRunPoint:
     def test_unsupported_yields_none(self):
         p = run_point("bitonic_topk", distribution="uniform", n=1 << 12, k=512)
         assert p.time is None
+        assert p.status == "unsupported"
+        assert p.detail  # the reason is recorded, not silently dropped
+
+    def test_ok_status(self):
+        p = run_point("sort", distribution="uniform", n=1 << 12, k=16)
+        assert p.status == "ok" and p.detail == ""
+
+    def test_auto_records_dispatch(self):
+        p = run_point("auto", distribution="uniform", n=1 << 12, k=16)
+        assert p.status == "ok"
+        assert p.detail.startswith("dispatch=")
+        assert p.detail.removeprefix("dispatch=") in ALL_ALGORITHMS
 
 
 class TestSweep:
@@ -58,7 +70,7 @@ class TestSweep:
         assert len(mini_sweep.points) == len(ALL_ALGORITHMS) * 2 * 2
         assert len(mini_sweep.keys()) == 4
 
-    def test_skips_k_above_n(self):
+    def test_records_k_above_n_as_unsupported(self):
         res = sweep(
             algos=("air_topk",),
             distributions=("uniform",),
@@ -66,7 +78,12 @@ class TestSweep:
             ks=(8, 64),
             cap=1 << 16,
         )
-        assert len(res.points) == 1
+        # the k > n point is recorded explicitly, not silently dropped
+        assert len(res.points) == 2
+        ok, bad = res.points
+        assert ok.status == "ok" and ok.k == 8
+        assert bad.status == "unsupported" and bad.k == 64
+        assert bad.time is None and "exceeds" in bad.detail
 
     def test_time_of(self, mini_sweep):
         t = mini_sweep.time_of("sort", "uniform", 1 << 12, 8, 1)
@@ -185,7 +202,17 @@ class TestReport:
         path = write_csv(mini_sweep.points, tmp_path / "out" / "points.csv")
         with path.open() as fh:
             rows = list(csv.reader(fh))
-        assert rows[0] == ["algo", "distribution", "n", "k", "batch", "time_s", "mode"]
+        assert rows[0] == [
+            "algo",
+            "distribution",
+            "n",
+            "k",
+            "batch",
+            "time_s",
+            "mode",
+            "status",
+            "detail",
+        ]
         assert len(rows) == len(mini_sweep.points) + 1
 
     def test_geomean(self):

@@ -1,0 +1,157 @@
+"""Differential test layer: every algorithm against a NumPy reference.
+
+Every registered algorithm — including the ``auto`` dispatcher — runs over
+a seeded grid of dtypes (float32/float64/int32/uint32), both selection
+directions, heavy-tie data, and float specials (±inf, NaN), at k = 1,
+n/2 and n.  Each output must match the ``np.partition`` reference exactly
+after normalisation into the library's monotone key space (ties at the
+boundary may be broken arbitrarily, so the comparison is multiset
+equality of keys — the contract :func:`repro.verify.check_topk` checks).
+
+A second class pins the ``auto`` acceptance criterion: on every point of
+the grid the dispatcher's simulated time never loses to the *worst*
+concrete algorithm (a dispatcher that can't beat "pick anything" would be
+pointless).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algos import UnsupportedProblem, get_algorithm
+from repro.bench import ALL_ALGORITHMS
+from repro.perf import simulate_topk
+from repro.primitives import priority_keys
+from repro.verify import check_topk
+
+N = 512
+KS = (1, N // 2, N)  # the k extremes plus the middle
+DTYPES = ("float32", "float64", "int32", "uint32")
+ALGOS = ALL_ALGORITHMS + ("auto",)
+
+
+def _case_data(dtype: str, kind: str, seed: int) -> np.ndarray:
+    """Seeded input for one differential case."""
+    rng = np.random.default_rng(seed)
+    dt = np.dtype(dtype)
+    if dt.kind == "f":
+        if kind == "uniform":
+            return rng.standard_normal(N).astype(dt)
+        if kind == "ties":
+            # 8 distinct values over 512 slots: every k cuts through a tie
+            return rng.integers(0, 8, N).astype(dt)
+        if kind == "special":
+            data = rng.standard_normal(N).astype(dt)
+            idx = rng.permutation(N)
+            data[idx[:32]] = np.inf
+            data[idx[32:64]] = -np.inf
+            data[idx[64:96]] = np.nan
+            data[idx[96:112]] = -0.0
+            data[idx[112:128]] = 0.0
+            return data
+    else:
+        info = np.iinfo(dt)
+        if kind == "uniform":
+            return rng.integers(
+                info.min, info.max, N, dtype=dt, endpoint=True
+            )
+        if kind == "ties":
+            lo = max(info.min, -4)
+            return rng.integers(lo, lo + 8, N, dtype=dt)
+    raise AssertionError(f"no kind {kind!r} for dtype {dtype}")
+
+
+def _kinds(dtype: str) -> tuple[str, ...]:
+    if np.dtype(dtype).kind == "f":
+        return ("uniform", "ties", "special")
+    return ("uniform", "ties")
+
+
+def _partition_reference(data: np.ndarray, k: int, largest: bool) -> np.ndarray:
+    """Top-k key multiset via np.partition in monotone key space."""
+    keys = priority_keys(np.ascontiguousarray(data)[None, :], largest=largest)[0]
+    return np.sort(np.partition(keys, k - 1)[:k])
+
+
+@pytest.mark.parametrize("largest", (False, True), ids=("smallest", "largest"))
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("algo", ALGOS)
+class TestDifferential:
+    def test_matches_partition_reference(self, algo, dtype, largest):
+        algorithm = get_algorithm(algo)
+        for kind in _kinds(dtype):
+            for k in KS:
+                if algorithm.supports(N, k) is not None:
+                    continue  # an expected Fig. 6/7 gap, not a failure
+                seed = hash((dtype, kind, k)) % (2**31)
+                data = _case_data(dtype, kind, seed)
+                res = algorithm.select(data, k, largest=largest, seed=seed)
+                label = f"{algo} {dtype} {kind} k={k} largest={largest}"
+                # full output contract: indices valid, multiset == oracle
+                check_topk(data, res.values, res.indices, largest=largest)
+                # and explicitly against np.partition, the issue's reference
+                got = np.sort(
+                    priority_keys(
+                        np.ascontiguousarray(res.values)[None, :],
+                        largest=largest,
+                    )[0]
+                )
+                expect = _partition_reference(data, k, largest)
+                assert np.array_equal(got, expect), label
+
+
+class TestUnsupportedIsExplicit:
+    """Gaps must be declared via supports()/UnsupportedProblem, never
+    silently wrong output."""
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_supports_agrees_with_select(self, algo):
+        algorithm = get_algorithm(algo)
+        data = _case_data("float32", "uniform", 7)
+        for k in KS:
+            reason = algorithm.supports(N, k)
+            if reason is None:
+                algorithm.select(data, k)  # must not raise
+            else:
+                with pytest.raises(UnsupportedProblem):
+                    algorithm.select(data, k)
+
+
+class TestAutoNeverWorst:
+    """The dispatcher must never lose to the worst concrete algorithm."""
+
+    GRID = [
+        (n, k, batch)
+        for n in (1 << 12, 1 << 14, 1 << 16)
+        for k in (1, 64, 2048)
+        for batch in (1, 4)
+    ]
+
+    def test_auto_beats_worst_everywhere(self):
+        losses = []
+        for n, k, batch in self.GRID:
+            times = {}
+            for algo in ALL_ALGORITHMS:
+                try:
+                    times[algo] = simulate_topk(
+                        algo,
+                        distribution="uniform",
+                        n=n,
+                        k=k,
+                        batch=batch,
+                        seed=3,
+                    ).time
+                except UnsupportedProblem:
+                    continue
+            run = simulate_topk(
+                "auto", distribution="uniform", n=n, k=k, batch=batch, seed=3
+            )
+            assert run.dispatch in times, (
+                f"auto dispatched to {run.dispatch!r}, which did not run "
+                f"at n={n} k={k} batch={batch}"
+            )
+            worst = max(times.values())
+            if run.time > worst:
+                losses.append((n, k, batch, run.dispatch, run.time, worst))
+        assert not losses, f"auto lost to the worst algorithm at: {losses}"

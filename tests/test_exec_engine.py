@@ -1,0 +1,252 @@
+"""Tests for the parallel sweep execution engine (repro.exec).
+
+The load-bearing guarantee is determinism: a sweep's CSV must be
+byte-identical whether it ran inline or sharded over a process pool —
+pinned against a committed golden file so a behaviour change in *either*
+path (or in the algorithms underneath) is caught, not silently absorbed.
+The failure-isolation contract (retry-once, error rows, timeout rows) is
+exercised on the inline path by stubbing the point runner.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.bench.report import write_csv
+from repro.bench.runner import BenchPoint, sweep
+from repro.exec import (
+    PointSpec,
+    ProgressEvent,
+    build_grid,
+    default_chunk_size,
+    execute_point,
+    parallel_sweep,
+    point_seed,
+)
+from repro.exec import worker as worker_mod
+
+GOLDEN_GRID = dict(
+    algos=("air_topk", "sort", "radix_select", "bitonic_topk", "auto"),
+    distributions=("uniform",),
+    ns=(1024, 4096),
+    ks=(16, 2048),
+    batches=(1,),
+    seed=0,
+)
+GOLDEN = "tests/data/golden_sweep.csv"
+
+
+def golden_bytes() -> bytes:
+    from pathlib import Path
+
+    return (Path(__file__).parent / "data" / "golden_sweep.csv").read_bytes()
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_csv_matches_golden(self, workers, tmp_path):
+        """Serial and 4-worker runs both reproduce the committed CSV
+        byte for byte."""
+        res = sweep(workers=workers, **GOLDEN_GRID)
+        path = write_csv(res.points, tmp_path / "sweep.csv")
+        assert path.read_bytes() == golden_bytes()
+
+    def test_row_classes_present(self):
+        """The golden grid covers every row class the engine can emit."""
+        res = sweep(workers=1, **GOLDEN_GRID)
+        statuses = {p.status for p in res.points}
+        assert statuses == {"ok", "unsupported"}
+        details = [p.detail for p in res.points]
+        assert any(d.startswith("dispatch=") for d in details)
+        assert any("exceeds" in d for d in details)  # k > n rows
+        assert any("supports k <=" in d for d in details)  # algo gap rows
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        a = point_seed(0, distribution="uniform", n=1024, k=16, batch=1)
+        b = point_seed(0, distribution="uniform", n=1024, k=16, batch=1)
+        assert a == b
+        assert isinstance(a, int) and 0 <= a < 2**32
+
+    def test_distinct_across_coordinates(self):
+        seeds = {
+            point_seed(0, distribution=d, n=n, k=k, batch=b)
+            for d in ("uniform", "normal")
+            for n in (1024, 2048)
+            for k in (8, 16)
+            for b in (1, 4)
+        }
+        assert len(seeds) == 16
+
+    def test_depends_on_base_seed(self):
+        kw = dict(distribution="uniform", n=1024, k=16, batch=1)
+        assert point_seed(0, **kw) != point_seed(1, **kw)
+
+
+class TestBuildGrid:
+    def test_serial_nesting_order(self):
+        slots = build_grid(
+            algos=("a", "b"),
+            distributions=("u", "v"),
+            ns=(8,),
+            ks=(2, 4),
+            batches=(1,),
+        )
+        coords = [
+            (s.distribution, s.batch, s.n, s.k, s.algo)
+            for s in slots
+            if isinstance(s, PointSpec)
+        ]
+        assert coords == [
+            (d, 1, 8, k, a) for d in ("u", "v") for k in (2, 4) for a in ("a", "b")
+        ]
+        assert [s.index for s in slots] == list(range(len(slots)))
+
+    def test_k_above_n_becomes_final_row(self):
+        slots = build_grid(algos=("a",), ns=(8,), ks=(4, 16))
+        assert isinstance(slots[0], PointSpec)
+        assert isinstance(slots[1], BenchPoint)
+        assert slots[1].status == "unsupported" and "exceeds" in slots[1].detail
+
+    def test_per_point_seed_mode(self):
+        shared = build_grid(algos=("a",), ns=(8, 16), ks=(2,), seed=7)
+        per = build_grid(
+            algos=("a",), ns=(8, 16), ks=(2,), seed=7, seed_mode="per-point"
+        )
+        assert {s.seed for s in shared} == {7}
+        assert len({s.seed for s in per}) == 2
+
+    def test_rejects_unknown_seed_mode(self):
+        with pytest.raises(ValueError):
+            build_grid(seed_mode="nope")
+
+
+class TestValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            parallel_sweep(workers=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            parallel_sweep(timeout=-1.0)
+
+    def test_chunk_size_bounds(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(1, 4) == 1
+        assert default_chunk_size(1000, 4) == 32  # ceil(1000 / 32)
+
+
+class TestProgress:
+    def test_events_count_up_with_eta(self):
+        events: list[ProgressEvent] = []
+        parallel_sweep(
+            algos=("sort", "air_topk"),
+            ns=(1 << 10,),
+            ks=(4, 2048),
+            progress=events.append,
+        )
+        assert [e.done for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        assert all(e.eta_s is not None and e.eta_s >= 0 for e in events)
+        assert events[-1].fraction == 1.0
+        assert events[-1].eta_s == 0.0
+
+
+def _spec(**overrides) -> PointSpec:
+    kw = dict(
+        index=0,
+        algo="sort",
+        distribution="uniform",
+        n=1 << 10,
+        k=4,
+        batch=1,
+        spec=None,
+        cap=1 << 14,
+        seed=0,
+        adversarial_m=20,
+    )
+    kw.update(overrides)
+    if kw["spec"] is None:
+        from repro.device import A100
+
+        kw["spec"] = A100
+    return PointSpec(**kw)
+
+
+class TestFailureIsolation:
+    def test_crash_becomes_error_row(self, monkeypatch):
+        def boom(*a, **kw):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr(worker_mod, "run_point", boom)
+        point = execute_point(_spec())
+        assert point.status == "error" and point.time is None
+        assert "kaput" in point.detail
+
+    def test_retry_once_recovers(self, monkeypatch):
+        calls = {"n": 0}
+        real = worker_mod.run_point
+
+        def flaky(*a, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(*a, **kw)
+
+        monkeypatch.setattr(worker_mod, "run_point", flaky)
+        point = execute_point(_spec())
+        assert calls["n"] == 2
+        assert point.status == "ok" and point.time is not None
+
+    def test_retries_exhausted(self, monkeypatch):
+        calls = {"n": 0}
+
+        def boom(*a, **kw):
+            calls["n"] += 1
+            raise RuntimeError("persistent")
+
+        monkeypatch.setattr(worker_mod, "run_point", boom)
+        execute_point(_spec(retries=1))
+        assert calls["n"] == 2  # the attempt plus exactly one retry
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "setitimer"), reason="needs POSIX interval timers"
+    )
+    def test_timeout_becomes_timeout_row(self, monkeypatch):
+        calls = {"n": 0}
+
+        def slow(*a, **kw):
+            calls["n"] += 1
+            time.sleep(5.0)
+
+        monkeypatch.setattr(worker_mod, "run_point", slow)
+        start = time.perf_counter()
+        point = execute_point(_spec(timeout=0.1))
+        assert time.perf_counter() - start < 2.0
+        assert point.status == "timeout" and point.time is None
+        assert calls["n"] == 1  # a timed-out point is not retried
+
+    def test_error_rows_flow_through_sweep(self, monkeypatch):
+        def boom(*a, **kw):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr(worker_mod, "run_point", boom)
+        res = parallel_sweep(algos=("sort",), ns=(1 << 10,), ks=(4,))
+        assert [p.status for p in res.points] == ["error"]
+
+
+class TestSeedModes:
+    def test_per_point_matches_itself_across_workers(self):
+        kw = dict(
+            algos=("sort", "air_topk"),
+            ns=(1 << 10, 1 << 11),
+            ks=(4,),
+            seed_mode="per-point",
+        )
+        serial = parallel_sweep(workers=1, **kw)
+        pooled = parallel_sweep(workers=2, **kw)
+        assert serial.points == pooled.points
