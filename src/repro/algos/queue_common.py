@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device import next_pow2
+from ..obs.metrics import get_metrics, metrics_enabled
 from ..primitives import comparator_count_merge, comparator_count_sort
 
 #: sentinel key strictly above every encodable 32-bit key (see
@@ -244,6 +245,11 @@ def emulate_queue_select(
             chunk = min(chunk * 2, max_chunk)
 
     stats.merge_comparators = stats.flushes * flush_cost
+    if metrics_enabled():
+        registry = get_metrics()
+        registry.counter("queue.rounds", mode=mode).inc(stats.rounds)
+        registry.counter("queue.inserts", mode=mode).inc(stats.inserts)
+        registry.counter("queue.flushes", mode=mode).inc(stats.flushes)
     return QueueRunResult(keys=m_keys, indices=m_idx, stats=stats)
 
 

@@ -18,6 +18,7 @@ from .report import (
     format_table,
     format_time,
     geomean,
+    read_csv,
     write_csv,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "format_table",
     "format_time",
     "geomean",
+    "read_csv",
     "write_csv",
 ]

@@ -120,6 +120,40 @@ def write_csv(points: Iterable[BenchPoint], path: str | Path) -> Path:
     return path
 
 
+def read_csv(path: str | Path) -> list[BenchPoint]:
+    """Load benchmark points back from a :func:`write_csv` file.
+
+    The inverse of :func:`write_csv` up to the columns it writes (device
+    counters are not serialised).  Used by ``repro-topk drift`` and
+    ``repro-topk inspect`` to analyse finished sweeps.
+    """
+    path = Path(path)
+    points: list[BenchPoint] = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"algo", "distribution", "n", "k", "batch", "time_s", "status"}
+        missing = required - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(
+                f"{path} is not a sweep CSV: missing columns {sorted(missing)}"
+            )
+        for row in reader:
+            points.append(
+                BenchPoint(
+                    algo=row["algo"],
+                    distribution=row["distribution"],
+                    n=int(row["n"]),
+                    k=int(row["k"]),
+                    batch=int(row["batch"]),
+                    time=float(row["time_s"]) if row["time_s"] else None,
+                    mode=row.get("mode", "exact"),
+                    status=row["status"],
+                    detail=row.get("detail", ""),
+                )
+            )
+    return points
+
+
 def format_dispatch_table(points: Iterable[BenchPoint]) -> str:
     """Where the ``auto`` dispatcher sent each problem, as a table.
 

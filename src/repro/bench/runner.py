@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..algos import UnsupportedProblem
-from ..device import GPUSpec, A100
+from ..device import A100, DeviceCounters, GPUSpec, timeline_spans
+from ..obs.spans import get_tracer, span, tracing_enabled
 from ..perf import DEFAULT_EXACT_CAP, simulate_topk
 
 #: the paper's contributions — excluded from the SOTA baseline
@@ -53,6 +54,10 @@ class BenchPoint:
     #: free-form annotation: the unsupported/error reason, or the concrete
     #: algorithm an ``auto`` point dispatched to ("dispatch=<name>")
     detail: str = ""
+    #: per-point simulated device counters (None for non-``ok`` rows);
+    #: excluded from equality/CSV so result semantics are unchanged —
+    #: manifests aggregate them via repro.device.aggregate_counters
+    counters: DeviceCounters | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple[str, int, int, int]:
@@ -130,31 +135,54 @@ def run_point(
 ) -> BenchPoint:
     """Measure one point; unsupported (n, k) yields an explicit
     ``status="unsupported"`` row with ``time=None`` and the reason."""
-    try:
-        run = simulate_topk(
-            algo,
-            distribution=distribution,
-            n=n,
-            k=k,
-            batch=batch,
-            spec=spec,
-            cap=cap,
-            seed=seed,
-            adversarial_m=adversarial_m,
-            **algo_kwargs,
-        )
-    except UnsupportedProblem as exc:
-        return BenchPoint(
-            algo=algo,
-            distribution=distribution,
-            n=n,
-            k=k,
-            batch=batch,
-            time=None,
-            mode="unsupported",
-            status="unsupported",
-            detail=str(exc),
-        )
+    with span(
+        f"point {algo}",
+        cat="point",
+        algo=algo,
+        distribution=distribution,
+        n=n,
+        k=k,
+        batch=batch,
+    ) as point_span:
+        try:
+            run = simulate_topk(
+                algo,
+                distribution=distribution,
+                n=n,
+                k=k,
+                batch=batch,
+                spec=spec,
+                cap=cap,
+                seed=seed,
+                adversarial_m=adversarial_m,
+                **algo_kwargs,
+            )
+        except UnsupportedProblem as exc:
+            point_span.set(status="unsupported")
+            return BenchPoint(
+                algo=algo,
+                distribution=distribution,
+                n=n,
+                k=k,
+                batch=batch,
+                time=None,
+                mode="unsupported",
+                status="unsupported",
+                detail=str(exc),
+            )
+        point_span.set(status="ok", mode=run.mode, sim_time_s=run.time)
+        if tracing_enabled():
+            # re-base the point's simulated streams onto the wall clock so
+            # the merged trace shows them inside this host span's gap
+            label = f"sim {algo} {distribution} n={n} k={k} b={batch}"
+            get_tracer().extend(
+                timeline_spans(
+                    run.device.timeline,
+                    lane_prefix=label,
+                    base_us=point_span.start_us,
+                    device=run.device,
+                )
+            )
     return BenchPoint(
         algo=algo,
         distribution=distribution,
@@ -164,6 +192,7 @@ def run_point(
         time=run.time,
         mode=run.mode,
         detail=f"dispatch={run.dispatch}" if run.dispatch else "",
+        counters=run.device.counters,
     )
 
 

@@ -226,4 +226,31 @@ def run_paper_suite(
     result.elapsed_s = time.perf_counter() - t0
     if out is not None:
         (out / "paper_suite.txt").write_text(result.render() + "\n")
+        from ..obs import build_manifest, get_metrics, write_manifest
+
+        artifacts = {"csv": "paper_grid.csv", "report": "paper_suite.txt"}
+        registry = get_metrics()
+        if registry is not None:
+            registry.write(out / "metrics.json")
+            artifacts["metrics"] = "metrics.json"
+        write_manifest(
+            build_manifest(
+                command="suite",
+                config={
+                    "cap": cap,
+                    "full": full,
+                    "workers": workers,
+                    "timeout": timeout,
+                    "ns": list(ns),
+                    "ks": list(ks),
+                    "distributions": ["uniform", "normal", "adversarial"],
+                    "batches": [1, 100],
+                },
+                seed=seed,
+                points=grid.points,
+                wall_time_s=result.elapsed_s,
+                artifacts=artifacts,
+            ),
+            out / "manifest.json",
+        )
     return result

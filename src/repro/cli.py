@@ -5,30 +5,45 @@ Examples::
     python -m repro topk --n 2^20 --k 100 --algo air_topk
     python -m repro compare --n 2^22 --k 256 --distribution adversarial
     python -m repro sweep --vary n --k 256 --points 2^12:2^26 --workers 4
+    python -m repro sweep --workers 4 --trace out.json --metrics metrics.json
     python -m repro auto --n 2^24 --k 1024
+    python -m repro drift results.csv
+    python -m repro inspect out/manifest.json
     python -m repro table2
+
+Results (tables, plots, rankings) go to stdout; status and progress go to
+the ``repro`` logger on stderr (``-v`` for per-point detail, ``-q`` for
+errors only).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+import time
+from contextlib import ExitStack, contextmanager
+from pathlib import Path
 
-from . import available_algorithms
+from . import available_algorithms, obs
 from .bench import (
     ALL_ALGORITHMS,
     format_dispatch_table,
     format_table,
     format_time,
     plot_sweep,
+    read_csv,
     run_paper_suite,
     sweep,
     table2,
     write_csv,
 )
 from .datagen import DISTRIBUTIONS
-from .device import PRESETS, get_spec
+from .device import PRESETS, get_spec, timeline_spans
 from .perf import DEFAULT_EXACT_CAP, render_roofline, simulate_topk, sol_report
+
+logger = logging.getLogger("repro")
 
 
 def _size(text: str) -> int:
@@ -66,6 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_logging(p):
+        p.add_argument(
+            "-v",
+            "--verbose",
+            action="count",
+            default=0,
+            help="log per-point progress and debug detail to stderr",
+        )
+        p.add_argument(
+            "-q",
+            "--quiet",
+            action="store_true",
+            help="suppress status logging (errors only)",
+        )
+
+    def add_telemetry(p):
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="write a merged chrome-trace JSON (host spans + simulated "
+            "device streams; open in Perfetto or chrome://tracing)",
+        )
+        p.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help="write the run's metrics registry as JSON",
+        )
 
     def add_exec(p):
         p.add_argument(
@@ -109,6 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_topk = sub.add_parser("topk", help="run one algorithm on one problem")
     add_common(p_topk)
+    add_logging(p_topk)
+    add_telemetry(p_topk)
     p_topk.add_argument("--algo", choices=available_algorithms(), default="air_topk")
     p_topk.add_argument("--largest", action="store_true")
     p_topk.add_argument(
@@ -123,10 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="rank every algorithm on one problem")
     add_common(p_cmp)
+    add_logging(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="sweep N or K and plot the series")
     add_common(p_sweep)
     add_exec(p_sweep)
+    add_logging(p_sweep)
+    add_telemetry(p_sweep)
     p_sweep.add_argument("--vary", choices=("n", "k"), default="n")
     p_sweep.add_argument(
         "--points",
@@ -149,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cost-model dispatch: predict the fastest algorithm and run it",
     )
     add_common(p_auto)
+    add_logging(p_auto)
     p_auto.add_argument(
         "--calibration",
         default=None,
@@ -160,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2.add_argument("--cap", type=_size, default=DEFAULT_EXACT_CAP)
     p_t2.add_argument("--seed", type=int, default=0)
     add_exec(p_t2)
+    add_logging(p_t2)
 
     p_rep = sub.add_parser(
         "reproduce", help="run the paper's full Section-5 evaluation"
@@ -169,61 +221,172 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--full", action="store_true", help="paper-size grids")
     p_rep.add_argument("--out", default=None, help="directory for CSV/txt output")
     add_exec(p_rep)
+    add_logging(p_rep)
+    add_telemetry(p_rep)
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="cost-model drift report: predicted vs measured times of a "
+        "finished sweep CSV",
+    )
+    p_drift.add_argument("csv", help="sweep CSV written by 'sweep --csv'")
+    p_drift.add_argument(
+        "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+    )
+    p_drift.add_argument(
+        "--calibration",
+        default=None,
+        help="JSON measurement cache; adds a calibrated-residual column",
+    )
+    add_logging(p_drift)
+
+    p_ins = sub.add_parser(
+        "inspect",
+        help="validate and summarise a telemetry artifact "
+        "(manifest.json, metrics.json, trace JSON, or a sweep CSV)",
+    )
+    p_ins.add_argument("path", help="artifact file to inspect")
+    add_logging(p_ins)
 
     return parser
 
 
-def _progress_printer(enabled: bool):
-    """Build a ProgressEvent callback rendering a live status line, or None."""
-    if not enabled:
+def setup_logging(args) -> None:
+    """Configure the ``repro`` logger from ``-v``/``-q`` (idempotent).
+
+    Status and progress go through this logger to stderr; results stay on
+    stdout.  Default level INFO; ``-v`` adds per-point DEBUG detail,
+    ``-q`` keeps errors only.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif getattr(args, "verbose", 0):
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(message)s"))
+    logger.addHandler(handler)
+
+
+def _progress_printer(args):
+    """ProgressEvent callback logging sweep completion, or None.
+
+    ``--progress`` logs every finished point at INFO; ``-v`` alone gets
+    the same stream at DEBUG, so a verbose run is always narrated.
+    """
+    explicit = getattr(args, "progress", False)
+    verbose = getattr(args, "verbose", 0) > 0
+    if not (explicit or verbose):
         return None
+    level = logging.INFO if explicit else logging.DEBUG
 
     def show(ev) -> None:
         eta = "?" if ev.eta_s is None else f"{ev.eta_s:.0f}s"
-        line = (
-            f"\r[{ev.done}/{ev.total}] {ev.fraction * 100:5.1f}%  "
-            f"elapsed {ev.elapsed_s:.0f}s  eta {eta}  "
-            f"last: {ev.point.algo} n={ev.point.n} k={ev.point.k} "
-            f"({ev.point.status})"
+        logger.log(
+            level,
+            "[%d/%d] %5.1f%%  elapsed %.0fs  eta %s  last: %s n=%d k=%d (%s)",
+            ev.done,
+            ev.total,
+            ev.fraction * 100,
+            ev.elapsed_s,
+            eta,
+            ev.point.algo,
+            ev.point.n,
+            ev.point.k,
+            ev.point.status,
         )
-        end = "\n" if ev.done == ev.total else ""
-        print(f"{line:<78}", end=end, file=sys.stderr, flush=True)
 
     return show
 
 
-def _point_progress(enabled: bool, total: int | None = None):
+def _point_progress(args, total: int | None = None):
     """Per-point progress callback for code paths taking BenchPoint."""
-    if not enabled:
+    explicit = getattr(args, "progress", False)
+    verbose = getattr(args, "verbose", 0) > 0
+    if not (explicit or verbose):
         return None
+    level = logging.INFO if explicit else logging.DEBUG
     state = {"done": 0}
 
     def show(point) -> None:
         state["done"] += 1
         suffix = f"/{total}" if total else ""
-        print(
-            f"\r[{state['done']}{suffix}] {point.algo} n={point.n} "
-            f"k={point.k} ({point.status})".ljust(70),
-            end="",
-            file=sys.stderr,
-            flush=True,
+        logger.log(
+            level,
+            "[%d%s] %s n=%d k=%d (%s)",
+            state["done"],
+            suffix,
+            point.algo,
+            point.n,
+            point.k,
+            point.status,
         )
 
     return show
 
 
+@contextmanager
+def _telemetry_session(args):
+    """Install tracer/metrics sessions for ``--trace``/``--metrics``.
+
+    Yields ``(tracer | None, registry | None)``; on clean exit the
+    requested artifact files are written (and schema-validated).
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    with ExitStack() as stack:
+        tracer = stack.enter_context(obs.trace_session()) if trace_path else None
+        registry = (
+            stack.enter_context(obs.metrics_session()) if metrics_path else None
+        )
+        yield tracer, registry
+        if tracer is not None:
+            path = obs.write_trace(tracer.events, trace_path)
+            logger.info("wrote trace (%d spans) to %s", len(tracer), path)
+        if registry is not None:
+            path = registry.write(metrics_path)
+            logger.info("wrote %d metrics to %s", len(registry), path)
+
+
 def cmd_topk(args) -> int:
-    run = simulate_topk(
-        args.algo,
-        distribution=args.distribution,
-        n=args.n,
-        k=args.k,
-        batch=args.batch,
-        spec=get_spec(args.gpu),
-        cap=args.cap,
-        seed=args.seed,
-        largest=args.largest,
-    )
+    with _telemetry_session(args) as (tracer, _registry):
+        with obs.span(
+            f"point {args.algo}",
+            cat="point",
+            algo=args.algo,
+            n=args.n,
+            k=args.k,
+            batch=args.batch,
+        ) as point_span:
+            run = simulate_topk(
+                args.algo,
+                distribution=args.distribution,
+                n=args.n,
+                k=args.k,
+                batch=args.batch,
+                spec=get_spec(args.gpu),
+                cap=args.cap,
+                seed=args.seed,
+                largest=args.largest,
+            )
+        if tracer is not None:
+            label = (
+                f"sim {args.algo} {args.distribution} "
+                f"n={args.n} k={args.k} b={args.batch}"
+            )
+            tracer.extend(
+                timeline_spans(
+                    run.device.timeline,
+                    lane_prefix=label,
+                    base_us=point_span.start_us,
+                    device=run.device,
+                )
+            )
     direction = "largest" if args.largest else "smallest"
     print(
         f"{args.algo}: {direction} {args.k} of {args.n:,} "
@@ -302,24 +465,59 @@ def cmd_sweep(args) -> int:
     ns = points if args.vary == "n" else (args.n,)
     ks = points if args.vary == "k" else (args.k,)
     algos = ALL_ALGORITHMS + ("auto",) if args.with_auto else ALL_ALGORITHMS
-    result = parallel_sweep(
-        algos=algos,
-        distributions=(args.distribution,),
-        ns=ns,
-        ks=ks,
-        batches=(args.batch,),
-        spec=get_spec(args.gpu),
-        cap=args.cap,
-        seed=args.seed,
-        workers=args.workers,
-        timeout=args.timeout,
-        progress=_progress_printer(args.progress),
-    )
+    started = time.perf_counter()
+    with _telemetry_session(args) as (_tracer, _registry):
+        result = parallel_sweep(
+            algos=algos,
+            distributions=(args.distribution,),
+            ns=ns,
+            ks=ks,
+            batches=(args.batch,),
+            spec=get_spec(args.gpu),
+            cap=args.cap,
+            seed=args.seed,
+            workers=args.workers,
+            timeout=args.timeout,
+            progress=_progress_printer(args),
+        )
+    wall = time.perf_counter() - started
+    artifacts = {}
     if args.csv:
         # write before plotting so status rows survive even when nothing
         # measured (e.g. every point timed out)
         path = write_csv(result.points, args.csv)
-        print(f"wrote {len(result.points)} points to {path}")
+        artifacts["csv"] = path.name
+        logger.info("wrote %d points to %s", len(result.points), path)
+    for kind in ("trace", "metrics"):
+        if getattr(args, kind, None):
+            artifacts[kind] = Path(getattr(args, kind)).name
+    # provenance next to the first artifact written (csv, else metrics,
+    # else trace); a sweep with no artifacts leaves nothing behind
+    anchor = args.csv or args.metrics or args.trace
+    if anchor:
+        manifest = obs.build_manifest(
+            command="sweep",
+            config={
+                "algos": list(algos),
+                "distribution": args.distribution,
+                "vary": args.vary,
+                "ns": list(ns),
+                "ks": list(ks),
+                "batch": args.batch,
+                "gpu": args.gpu,
+                "cap": args.cap,
+                "workers": args.workers,
+                "timeout": args.timeout,
+            },
+            seed=args.seed,
+            points=result.points,
+            wall_time_s=wall,
+            artifacts=artifacts,
+        )
+        path = obs.write_manifest(
+            manifest, Path(anchor).resolve().parent / "manifest.json"
+        )
+        logger.info("wrote run manifest to %s", path)
     if any(p.time is not None for p in result.points):
         fixed = {"k": args.k} if args.vary == "n" else {"n": args.n}
         print(
@@ -388,7 +586,7 @@ def cmd_auto(args) -> int:
 
 def cmd_table2(args) -> int:
     ns = [1 << p for p in (11, 15, 20, 25, 30)]
-    progress = _point_progress(args.progress)
+    progress = _point_progress(args)
     result = sweep(
         distributions=("uniform", "normal", "adversarial"),
         ns=ns,
@@ -411,8 +609,6 @@ def cmd_table2(args) -> int:
         timeout=args.timeout,
         progress=progress,
     )
-    if progress is not None:
-        print(file=sys.stderr)
     for p in batch100.points:
         result.add(p)
     rows = table2(result)
@@ -435,20 +631,150 @@ def cmd_table2(args) -> int:
 
 
 def cmd_reproduce(args) -> int:
-    progress = _point_progress(args.progress)
-    suite = run_paper_suite(
-        out_dir=args.out,
-        cap=args.cap,
-        full=args.full,
-        seed=args.seed,
-        workers=args.workers,
-        timeout=args.timeout,
-        progress=progress,
-    )
-    if progress is not None:
-        print(file=sys.stderr)
+    progress = _point_progress(args)
+    with _telemetry_session(args):
+        suite = run_paper_suite(
+            out_dir=args.out,
+            cap=args.cap,
+            full=args.full,
+            seed=args.seed,
+            workers=args.workers,
+            timeout=args.timeout,
+            progress=progress,
+        )
+    if args.out:
+        logger.info("suite artifacts written under %s", args.out)
     print(suite.render())
     return 0
+
+
+def cmd_drift(args) -> int:
+    from .obs.drift import drift_report
+    from .perf.calibration import CalibrationCache
+
+    try:
+        points = read_csv(args.csv)
+    except (OSError, ValueError) as exc:
+        logger.error("cannot read %s: %s", args.csv, exc)
+        return 1
+    calibration = (
+        CalibrationCache.load(args.calibration) if args.calibration else None
+    )
+    rows = drift_report(points, spec=get_spec(args.gpu), calibration=calibration)
+    measured = sum(1 for p in points if p.time is not None)
+    logger.info(
+        "%d points in %s (%d measured, %d predictable)",
+        len(points),
+        args.csv,
+        measured,
+        sum(r.points for r in rows),
+    )
+    if not rows:
+        print("no predictable measured points in this sweep")
+        return 0
+    print(f"cost-model drift vs simulated times on {args.gpu}:")
+    headers = ["algorithm", "points", "geomean", "min", "max", "rmse(log2)"]
+    if calibration is not None:
+        headers.append("calibrated")
+    table_rows = []
+    for r in rows:
+        row = [
+            r.algo,
+            r.points,
+            f"{r.geomean_ratio:.3f}x",
+            f"{r.min_ratio:.3f}x",
+            f"{r.max_ratio:.3f}x",
+            f"{r.rmse_log2:.3f}",
+        ]
+        if calibration is not None:
+            row.append(f"{r.calibrated_geomean:.3f}x")
+        table_rows.append(row)
+    print(format_table(headers, table_rows))
+    print(
+        "\n(geomean 1.000x = unbiased model; ratios are simulated/predicted "
+        "time per point)"
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    path = Path(args.path)
+    if path.suffix == ".csv":
+        try:
+            points = read_csv(path)
+        except (OSError, ValueError) as exc:
+            logger.error("cannot read %s: %s", path, exc)
+            return 1
+        status: dict[str, int] = {}
+        for p in points:
+            status[p.status] = status.get(p.status, 0) + 1
+        print(f"{path}: sweep CSV, {len(points)} points")
+        print(
+            format_table(
+                ["status", "points"], sorted(status.items())
+            )
+        )
+        return 0
+    payload = json.loads(path.read_text())
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        obs.validate_trace(payload)
+        events = payload["traceEvents"]
+        durations = [e for e in events if e["ph"] == "X"]
+        pids = {e["pid"] for e in events}
+        lanes = {(e["pid"], e["tid"]) for e in events}
+        print(f"{path}: valid chrome trace")
+        print(
+            f"{len(durations)} spans across {len(pids)} processes / "
+            f"{len(lanes)} lanes"
+        )
+        return 0
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema == "repro.obs.manifest/v1":
+        obs.validate_manifest(payload)
+        print(f"{path}: valid run manifest")
+        rows = [
+            ("command", payload["command"]),
+            ("seed", payload["seed"]),
+            ("total points", payload["grid"]["total_points"]),
+            ("status", ", ".join(f"{k}={v}" for k, v in payload["status"].items())),
+            ("wall time", f"{payload['wall_time_s']:.2f}s"),
+            ("versions", ", ".join(f"{k} {v}" for k, v in payload["versions"].items())),
+            (
+                "kernel launches",
+                payload["device_counters"]["kernel_launches"],
+            ),
+        ]
+        print(format_table(["field", "value"], rows))
+        return 0
+    if schema == "repro.obs.metrics/v1":
+        obs.validate_metrics(payload)
+        print(f"{path}: valid metrics dump")
+        rows = [
+            (c["name"], _format_labels(c["labels"]), f"{c['value']:g}")
+            for c in payload["counters"]
+        ]
+        rows += [
+            (g["name"], _format_labels(g["labels"]), f"{g['value']:g}")
+            for g in payload["gauges"]
+        ]
+        rows += [
+            (
+                h["name"],
+                _format_labels(h["labels"]),
+                f"n={h['count']} mean={h['sum'] / h['count']:.3f}"
+                if h["count"]
+                else "n=0",
+            )
+            for h in payload["histograms"]
+        ]
+        print(format_table(["metric", "labels", "value"], rows))
+        return 0
+    logger.error("%s: unrecognised artifact (no known schema marker)", path)
+    return 1
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
 
 
 COMMANDS = {
@@ -458,11 +784,14 @@ COMMANDS = {
     "auto": cmd_auto,
     "table2": cmd_table2,
     "reproduce": cmd_reproduce,
+    "drift": cmd_drift,
+    "inspect": cmd_inspect,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args)
     return COMMANDS[args.command](args)
 
 

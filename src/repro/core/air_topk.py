@@ -52,6 +52,8 @@ import numpy as np
 
 from ..algos.base import RunContext, TopKAlgorithm
 from ..device import streaming_grid
+from ..obs.metrics import get_metrics, metrics_enabled
+from ..obs.spans import tracing_enabled
 from ..perf import calibration as cal
 from ..primitives import (
     block_scan_ops,
@@ -162,6 +164,39 @@ class AIRTopK(TopKAlgorithm):
         #: per-pass trace of the most recent run (list of PassRecord)
         self.last_trace: list[PassRecord] = []
 
+    def _pass_telemetry(self, pass_index: int) -> dict | None:
+        """Behavioural telemetry for one fused launch, when enabled.
+
+        Feeds the metrics stream (pass/buffer/early-stop counters) and
+        returns ``span_args`` for the launch's timeline event; returns
+        None — without touching ``last_trace`` — when telemetry is off, so
+        plain runs pay only two flag checks per launch.
+        """
+        traced = tracing_enabled()
+        metered = metrics_enabled()
+        if not (traced or metered):
+            return None
+        records = [r for r in self.last_trace if r.pass_index == pass_index]
+        buffered = sum(1 for r in records if r.buffered)
+        stopped = sum(1 for r in records if r.early_stopped)
+        if metered:
+            registry = get_metrics()
+            registry.counter("air.passes", algo=self.name).inc(len(records))
+            registry.counter("air.buffer_writes", algo=self.name).inc(buffered)
+            registry.counter("air.buffer_skips", algo=self.name).inc(
+                len(records) - buffered
+            )
+            registry.counter("air.early_stops", algo=self.name).inc(stopped)
+        if not traced:
+            return None
+        return {
+            "rows": len(records),
+            "candidates_in": sum(r.candidates_in for r in records),
+            "candidates_out": sum(r.candidates_out for r in records),
+            "buffered_rows": buffered,
+            "early_stopped_rows": stopped,
+        }
+
     def passes_for(self, dtype) -> list:
         """MSB-first digit passes matching the key width of ``dtype``."""
         key_width = np.dtype(dtype).itemsize * 8
@@ -209,6 +244,7 @@ class AIRTopK(TopKAlgorithm):
                 fixed_bytes_written=batch * num_buckets * 4.0,
                 fixed_flops=batch * block_scan_ops(num_buckets),
                 fixed_dependent_cycles=batch * cal.AIR_PER_PROBLEM_CYCLES,
+                span_args=self._pass_telemetry(dpass.index),
             )
 
         traffic = _KernelTraffic()
@@ -229,6 +265,7 @@ class AIRTopK(TopKAlgorithm):
                 fixed_bytes_written=batch * num_buckets * 4.0,
                 fixed_flops=batch * block_scan_ops(num_buckets),
                 fixed_dependent_cycles=batch * cal.AIR_PER_PROBLEM_CYCLES,
+                span_args=self._pass_telemetry(len(self.passes) - 1),
             )
         else:
             device.launch_kernel(

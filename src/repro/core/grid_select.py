@@ -33,6 +33,8 @@ from ..algos.queue_common import (
     slice_rows,
 )
 from ..device import Device, GPUSpec, A100, ceil_div, next_pow2
+from ..obs.metrics import get_metrics, metrics_enabled
+from ..obs.spans import tracing_enabled
 from ..perf import calibration as cal
 from ..primitives import comparator_count_sort
 
@@ -137,6 +139,23 @@ class GridSelect(TopKAlgorithm):
             round_cycles = cal.ROUND_CYCLES_THREAD_QUEUE
             elem_ops = cal.THREAD_QUEUE_OPS_PER_ELEM_GRID
             warp_eff = cal.WARP_EFFICIENCY_THREAD_QUEUE_GRID
+        span_args = None
+        if tracing_enabled():
+            span_args = {
+                "queue": self.queue,
+                "rounds": stats.rounds,
+                "inserts": stats.inserts,
+                "flushes": stats.flushes,
+                "merge_comparators": stats.merge_comparators,
+            }
+        if metrics_enabled():
+            registry = get_metrics()
+            registry.counter("gridselect.flushes", queue=self.queue).inc(
+                stats.flushes
+            )
+            registry.counter("gridselect.inserts", queue=self.queue).inc(
+                stats.inserts
+            )
         dependent_cycles = (
             rounds_per_block * round_cycles
             + flushes_per_block
@@ -157,6 +176,7 @@ class GridSelect(TopKAlgorithm):
             fixed_dependent_cycles=cal.GRID_KERNEL_FIXED_CYCLES
             + batch * cal.QUEUE_PER_PROBLEM_CYCLES,
             warp_efficiency=warp_eff,
+            span_args=span_args,
         )
 
 
@@ -225,6 +245,13 @@ class GridSelectStream:
             self._idx = merged_idx[order]
 
         n = chunk.shape[0]
+        span_args = None
+        if tracing_enabled():
+            span_args = {"chunk": n, "qualified": qualified, "seen": self._seen}
+        if metrics_enabled():
+            registry = get_metrics()
+            registry.counter("gridselect.stream_chunks").inc()
+            registry.counter("gridselect.stream_qualified").inc(qualified)
         blocks = GridSelect().num_blocks(self.device.spec, max(n, 1))
         self.device.launch_kernel(
             "GridSelectStreamChunk",
@@ -234,6 +261,7 @@ class GridSelectStream:
             bytes_written=8.0 * qualified,
             flops=cal.SHARED_QUEUE_OPS_PER_ELEM * n,
             warp_efficiency=cal.WARP_EFFICIENCY_SHARED_QUEUE,
+            span_args=span_args,
         )
         self._seen += n
 

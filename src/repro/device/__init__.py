@@ -5,11 +5,11 @@ observable behaviour.
 """
 
 from .spec import GPUSpec, A100, H100, A10, V100, PRESETS, get_spec
-from .counters import DeviceCounters, KernelStats
+from .counters import DeviceCounters, KernelStats, aggregate_counters
 from .timeline import Timeline, TraceEvent, STREAMS
 from .device import Device
 from .launch import Occupancy, occupancy, streaming_grid, ceil_div, next_pow2
-from .tracing import chrome_trace, write_chrome_trace
+from .tracing import chrome_trace, timeline_spans, write_chrome_trace
 
 __all__ = [
     "GPUSpec",
@@ -30,6 +30,8 @@ __all__ = [
     "streaming_grid",
     "ceil_div",
     "next_pow2",
+    "aggregate_counters",
     "chrome_trace",
+    "timeline_spans",
     "write_chrome_trace",
 ]

@@ -95,3 +95,38 @@ class DeviceCounters:
         if nbytes < 0:
             raise ValueError("workspace size must be non-negative")
         self._current_workspace = max(0.0, self._current_workspace - nbytes)
+
+    def merge(self, other: "DeviceCounters") -> None:
+        """Accumulate another run's counters into this one.
+
+        Traffic and launch totals add; ``peak_workspace_bytes`` takes the
+        max, since the runs never share an allocator.
+        """
+        self.kernel_launches += other.kernel_launches
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.flops += other.flops
+        self.h2d_transfers += other.h2d_transfers
+        self.d2h_transfers += other.d2h_transfers
+        self.h2d_bytes += other.h2d_bytes
+        self.d2h_bytes += other.d2h_bytes
+        self.syncs += other.syncs
+        self.peak_workspace_bytes = max(
+            self.peak_workspace_bytes, other.peak_workspace_bytes
+        )
+
+
+def aggregate_counters(points) -> DeviceCounters:
+    """Sum the per-point :class:`DeviceCounters` of a sweep.
+
+    ``points`` is any iterable of objects with an optional ``counters``
+    attribute (e.g. :class:`repro.bench.BenchPoint`); points without one
+    (failures, unsupported combinations) contribute nothing.  Used by run
+    manifests and the ``workers=1 == workers=N`` invariant test.
+    """
+    total = DeviceCounters()
+    for point in points:
+        counters = getattr(point, "counters", None)
+        if counters is not None:
+            total.merge(counters)
+    return total

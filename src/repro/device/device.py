@@ -66,6 +66,7 @@ class Device:
         fixed_bytes_written: float = 0.0,
         fixed_flops: float = 0.0,
         fixed_dependent_cycles: float = 0.0,
+        span_args: dict | None = None,
     ) -> float:
         """Submit and execute one kernel; returns its device-side duration.
 
@@ -75,6 +76,8 @@ class Device:
         never scaled — use them for work that is constant in N even inside
         an otherwise data-proportional kernel (e.g. the 2^b-entry histogram
         writes and block scan fused into AIR's iteration kernel).
+        ``span_args`` attaches behavioural annotations to the timeline
+        event (shown as hover args in trace exports).
         """
         s = self.scale if scalable else 1.0
         bytes_read = bytes_read * s + fixed_bytes_read
@@ -97,7 +100,7 @@ class Device:
         start = max(self.gpu_time, self.cpu_time)
         end = start + cost.duration
         self.gpu_time = end
-        self.timeline.record(name, "gpu", start, end)
+        self.timeline.record(name, "gpu", start, end, args=span_args)
 
         self.counters.kernel_launches += 1
         self.counters.bytes_read += bytes_read

@@ -23,6 +23,9 @@ class TraceEvent:
     stream: str
     start: float
     end: float
+    #: optional behavioural annotations (pass survivors, queue stats, ...)
+    #: surfaced as hover args in chrome-trace/Perfetto exports
+    args: dict | None = None
 
     def __post_init__(self) -> None:
         if self.stream not in STREAMS:
@@ -44,8 +47,16 @@ class Timeline:
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
 
-    def record(self, name: str, stream: str, start: float, end: float) -> TraceEvent:
-        event = TraceEvent(name=name, stream=stream, start=start, end=end)
+    def record(
+        self,
+        name: str,
+        stream: str,
+        start: float,
+        end: float,
+        *,
+        args: dict | None = None,
+    ) -> TraceEvent:
+        event = TraceEvent(name=name, stream=stream, start=start, end=end, args=args)
         self._events.append(event)
         return event
 

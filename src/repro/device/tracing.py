@@ -52,14 +52,17 @@ def chrome_trace(timeline: Timeline, *, device: Device | None = None) -> dict:
                 "dur": event.duration * 1e6,
                 "cat": stream,
             }
+            args = dict(event.args) if event.args else {}
             if device is not None and event.name in device.kernel_stats:
                 stats = device.kernel_stats[event.name]
-                entry["args"] = {
-                    "launches": stats.launches,
-                    "bytes_read": stats.bytes_read,
-                    "bytes_written": stats.bytes_written,
-                    "flops": stats.flops,
-                }
+                args.update(
+                    launches=stats.launches,
+                    bytes_read=stats.bytes_read,
+                    bytes_written=stats.bytes_written,
+                    flops=stats.flops,
+                )
+            if args:
+                entry["args"] = args
             events.append(entry)
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
@@ -73,3 +76,42 @@ def write_chrome_trace(
     payload = chrome_trace(device.timeline, device=device)
     path.write_text(json.dumps(payload, indent=1))
     return path
+
+
+def timeline_spans(
+    timeline: Timeline,
+    *,
+    lane_prefix: str,
+    base_us: float = 0.0,
+    device: Device | None = None,
+):
+    """Re-base a simulated timeline onto the host wall clock as obs spans.
+
+    Simulated event times start at 0 for every run; shifting them by
+    ``base_us`` — the wall-clock start of the host span that executed the
+    point — lets one merged Trace-Event file show each point's simulated
+    GPU/CPU/PCIe streams in the gap its host worker actually occupied.
+    Lanes are ``"<lane_prefix>/<stream>"`` so the exporter renders the
+    point as its own process with one thread per stream.
+    """
+    from ..obs.spans import SpanEvent
+
+    spans = []
+    for event in timeline.events:
+        args = dict(event.args) if event.args else {}
+        if device is not None and event.name in device.kernel_stats:
+            stats = device.kernel_stats[event.name]
+            args.setdefault("bytes_read", stats.bytes_read)
+            args.setdefault("bytes_written", stats.bytes_written)
+            args.setdefault("flops", stats.flops)
+        spans.append(
+            SpanEvent(
+                name=event.name,
+                cat=f"sim.{event.stream}",
+                ts_us=base_us + event.start * 1e6,
+                dur_us=event.duration * 1e6,
+                lane=f"{lane_prefix}/{event.stream}",
+                args=args,
+            )
+        )
+    return spans

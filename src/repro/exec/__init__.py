@@ -9,9 +9,11 @@ from .engine import (
 )
 from .worker import (
     DEFAULT_RETRIES,
+    ChunkResult,
     PointSpec,
     PointTimeout,
     execute_chunk,
+    execute_chunk_telemetry,
     execute_point,
     point_seed,
 )
@@ -23,9 +25,11 @@ __all__ = [
     "default_chunk_size",
     "parallel_sweep",
     "DEFAULT_RETRIES",
+    "ChunkResult",
     "PointSpec",
     "PointTimeout",
     "execute_chunk",
+    "execute_chunk_telemetry",
     "execute_point",
     "point_seed",
 ]

@@ -32,11 +32,15 @@ from typing import Callable, Iterable, Sequence
 
 from ..bench.runner import ALL_ALGORITHMS, BenchPoint, SweepResult
 from ..device import A100, GPUSpec
+from ..obs.drift import record_point_drift
+from ..obs.metrics import get_metrics, metrics_enabled
+from ..obs.spans import get_tracer, span, tracing_enabled
 from ..perf import DEFAULT_EXACT_CAP
 from .worker import (
     DEFAULT_RETRIES,
     PointSpec,
     execute_chunk,
+    execute_chunk_telemetry,
     execute_point,
     point_seed,
 )
@@ -78,6 +82,8 @@ def build_grid(
     timeout: float | None = None,
     retries: int = DEFAULT_RETRIES,
     seed_mode: str = "shared",
+    trace: bool = False,
+    metrics: bool = False,
 ) -> list[PointSpec | BenchPoint]:
     """Expand a sweep grid into ordered slots.
 
@@ -135,6 +141,8 @@ def build_grid(
                                 adversarial_m=adversarial_m,
                                 timeout=timeout,
                                 retries=retries,
+                                trace=trace,
+                                metrics=metrics,
                             )
                         )
     return slots
@@ -176,6 +184,8 @@ def parallel_sweep(
         raise ValueError(f"workers must be >= 1, got {workers}")
     if timeout is not None and timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
+    traced = tracing_enabled()
+    metered = metrics_enabled()
     slots = build_grid(
         algos=algos,
         distributions=distributions,
@@ -189,6 +199,8 @@ def parallel_sweep(
         timeout=timeout,
         retries=retries,
         seed_mode=seed_mode,
+        trace=traced,
+        metrics=metered,
     )
     total = len(slots)
     started = time.perf_counter()
@@ -197,6 +209,10 @@ def parallel_sweep(
     def emit(point: BenchPoint) -> None:
         nonlocal done
         done += 1
+        if metered:
+            registry = get_metrics()
+            registry.counter("sweep.points", status=point.status).inc()
+            record_point_drift(registry, point, spec=spec)
         if progress is None:
             return
         elapsed = time.perf_counter() - started
@@ -210,25 +226,47 @@ def parallel_sweep(
     points: list[BenchPoint | None] = [None] * total
     pending = [slot for slot in slots if isinstance(slot, PointSpec)]
 
-    if workers == 1 or len(pending) <= 1:
-        # inline: same process, grid order — the determinism reference
-        for i, slot in enumerate(slots):
-            point = slot if isinstance(slot, BenchPoint) else execute_point(slot)
-            points[i] = point
-            emit(point)
-    else:
-        for i, slot in enumerate(slots):
-            if isinstance(slot, BenchPoint):
-                points[i] = slot
-                emit(slot)
-        size = chunk_size or default_chunk_size(len(pending), workers)
-        chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
-        pool_size = min(workers, len(chunks))
-        with multiprocessing.get_context().Pool(processes=pool_size) as pool:
-            for pairs in pool.imap_unordered(execute_chunk, chunks):
-                for index, point in pairs:
-                    points[index] = point
-                    emit(point)
+    with span("sweep", cat="sweep", points=total, workers=workers) as sweep_span:
+        if workers == 1 or len(pending) <= 1:
+            # inline: same process, grid order — the determinism reference
+            for i, slot in enumerate(slots):
+                point = slot if isinstance(slot, BenchPoint) else execute_point(slot)
+                points[i] = point
+                emit(point)
+        else:
+            for i, slot in enumerate(slots):
+                if isinstance(slot, BenchPoint):
+                    points[i] = slot
+                    emit(slot)
+            size = chunk_size or default_chunk_size(len(pending), workers)
+            chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+            pool_size = min(workers, len(chunks))
+            sweep_span.set(chunks=len(chunks), chunk_size=size, pool=pool_size)
+            # telemetry rides back with each chunk: workers buffer into a
+            # fresh local session and the parent merges here, so counters,
+            # metrics and spans are identical to the workers=1 run
+            run_chunk = (
+                execute_chunk_telemetry if (traced or metered) else execute_chunk
+            )
+            with multiprocessing.get_context().Pool(processes=pool_size) as pool:
+                for outcome in pool.imap_unordered(run_chunk, chunks):
+                    with span("merge_chunk", cat="sweep"):
+                        if run_chunk is execute_chunk:
+                            pairs = outcome
+                        else:
+                            pairs = outcome.pairs
+                            if traced and outcome.spans:
+                                get_tracer().extend(outcome.spans)
+                            if metered and outcome.metrics is not None:
+                                get_metrics().merge(outcome.metrics)
+                        for index, point in pairs:
+                            points[index] = point
+                            emit(point)
+
+    if metered:
+        get_metrics().gauge("sweep.wall_time_s").set(
+            time.perf_counter() - started
+        )
 
     result = SweepResult()
     for point in points:

@@ -12,6 +12,7 @@ as a ``timeout`` row, so one bad point cannot kill a sweep.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import signal
 import traceback
 from contextlib import contextmanager
@@ -19,6 +20,7 @@ from dataclasses import dataclass
 
 from ..bench.runner import BenchPoint, run_point
 from ..device import GPUSpec
+from ..obs.spans import SpanEvent, span
 
 #: how many times a crashing point is re-attempted before an error row
 DEFAULT_RETRIES = 1
@@ -40,6 +42,10 @@ class PointSpec:
     adversarial_m: int
     timeout: float | None = None
     retries: int = DEFAULT_RETRIES
+    #: telemetry switches, set by the engine when the parent session has a
+    #: tracer/registry installed; picklable under fork and spawn alike
+    trace: bool = False
+    metrics: bool = False
 
 
 def point_seed(base_seed: int, *, distribution: str, n: int, k: int, batch: int) -> int:
@@ -97,32 +103,76 @@ def execute_point(spec: PointSpec) -> BenchPoint:
     """Run one point; failures become recorded rows, never exceptions."""
     attempts = 1 + max(0, spec.retries)
     last_error = ""
-    for _ in range(attempts):
-        try:
-            with _alarm(spec.timeout):
-                return run_point(
-                    spec.algo,
-                    distribution=spec.distribution,
-                    n=spec.n,
-                    k=spec.k,
-                    batch=spec.batch,
-                    spec=spec.spec,
-                    cap=spec.cap,
-                    seed=spec.seed,
-                    adversarial_m=spec.adversarial_m,
+    with span(
+        f"execute {spec.algo}", cat="exec", index=spec.index, algo=spec.algo
+    ) as exec_span:
+        for attempt in range(attempts):
+            try:
+                with _alarm(spec.timeout), span(
+                    "attempt", cat="exec", attempt=attempt + 1
+                ):
+                    point = run_point(
+                        spec.algo,
+                        distribution=spec.distribution,
+                        n=spec.n,
+                        k=spec.k,
+                        batch=spec.batch,
+                        spec=spec.spec,
+                        cap=spec.cap,
+                        seed=spec.seed,
+                        adversarial_m=spec.adversarial_m,
+                    )
+                    exec_span.set(status=point.status)
+                    return point
+            except PointTimeout:
+                # a timed-out point is not retried: it would only time out
+                # again
+                exec_span.set(status="timeout")
+                return _failure_point(
+                    spec, "timeout", f"exceeded {spec.timeout:g}s wall clock"
                 )
-        except PointTimeout:
-            # a timed-out point is not retried: it would only time out again
-            return _failure_point(
-                spec, "timeout", f"exceeded {spec.timeout:g}s wall clock"
-            )
-        except Exception as exc:  # noqa: BLE001 — the row records the cause
-            last_error = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
+            except Exception as exc:  # noqa: BLE001 — the row records the cause
+                last_error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+        exec_span.set(status="error", retries=attempts - 1)
     return _failure_point(spec, "error", last_error)
 
 
 def execute_chunk(chunk: list[PointSpec]) -> list[tuple[int, BenchPoint]]:
     """Pool entry point: run a chunk, returning (grid_index, point) pairs."""
     return [(spec.index, execute_point(spec)) for spec in chunk]
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """A chunk's points plus the worker-local telemetry that produced them."""
+
+    pairs: list[tuple[int, BenchPoint]]
+    spans: tuple[SpanEvent, ...] = ()
+    metrics: "object | None" = None  # MetricsRegistry, kept loose for pickling
+
+
+def execute_chunk_telemetry(chunk: list[PointSpec]) -> ChunkResult:
+    """Pool entry point when the parent session has telemetry enabled.
+
+    Opens a *fresh* tracer/registry for the chunk (never the fork-copied
+    parent one — its buffered events would be duplicated on merge), runs
+    the chunk inside it, and ships the buffers back with the results; the
+    engine merges them into the parent session.  The worker's lane is its
+    ``multiprocessing`` process name, so Perfetto shows one row per pool
+    worker.
+    """
+    from ..obs import local_session
+
+    trace = any(spec.trace for spec in chunk)
+    metrics = any(spec.metrics for spec in chunk)
+    lane = f"host/{multiprocessing.current_process().name}"
+    with local_session(trace=trace, metrics=metrics, lane=lane) as (tracer, registry):
+        with span("chunk", cat="exec", points=len(chunk)):
+            pairs = [(spec.index, execute_point(spec)) for spec in chunk]
+        return ChunkResult(
+            pairs=pairs,
+            spans=tracer.events if tracer is not None else (),
+            metrics=registry,
+        )

@@ -1,0 +1,205 @@
+"""Schemas for the telemetry artifacts, with a dependency-free validator.
+
+``manifest.json`` and ``metrics.json`` are consumed by tooling (CI, the
+``repro-topk inspect`` command, downstream analysis), so their layout is
+pinned here and checked on every write.  The validator implements the
+small JSON-Schema subset the artifacts need — ``type``, ``required``,
+``properties``, ``items``, ``enum``, ``const`` — rather than pulling in a
+``jsonschema`` dependency the environment may not have.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A payload does not match its schema; ``errors`` lists every miss."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        super().__init__("; ".join(errors))
+
+
+def _check(value: Any, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        py = _TYPES[expected]
+        ok = isinstance(value, py)
+        if expected == "number" and isinstance(value, bool):
+            ok = False
+        if expected == "integer" and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _check(value[name], sub, f"{path}.{name}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate(payload: Any, schema: dict) -> None:
+    """Raise :class:`SchemaError` (listing every violation) on mismatch."""
+    errors: list[str] = []
+    _check(payload, schema, "$", errors)
+    if errors:
+        raise SchemaError(errors)
+
+
+_LABELLED_VALUE = {
+    "type": "object",
+    "required": ["name", "labels", "value"],
+    "properties": {
+        "name": {"type": "string"},
+        "labels": {"type": "object"},
+        "value": {"type": "number"},
+    },
+}
+
+METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "counters", "gauges", "histograms"],
+    "properties": {
+        "schema": {"const": "repro.obs.metrics/v1"},
+        "counters": {"type": "array", "items": _LABELLED_VALUE},
+        "gauges": {"type": "array", "items": _LABELLED_VALUE},
+        "histograms": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "labels", "count", "sum", "buckets"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "labels": {"type": "object"},
+                    "count": {"type": "integer"},
+                    "sum": {"type": "number"},
+                    "min": {"type": "number"},
+                    "max": {"type": "number"},
+                    "buckets": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["le", "count"],
+                            "properties": {"count": {"type": "integer"}},
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "command",
+        "config",
+        "seed",
+        "grid",
+        "status",
+        "wall_time_s",
+        "versions",
+        "device_counters",
+    ],
+    "properties": {
+        "schema": {"const": "repro.obs.manifest/v1"},
+        "command": {"type": "string"},
+        "config": {"type": "object"},
+        "seed": {"type": "integer"},
+        "grid": {
+            "type": "object",
+            "required": ["total_points"],
+            "properties": {"total_points": {"type": "integer"}},
+        },
+        "status": {"type": "object"},
+        "wall_time_s": {"type": "number"},
+        "versions": {
+            "type": "object",
+            "required": ["repro", "python", "numpy"],
+            "properties": {
+                "repro": {"type": "string"},
+                "python": {"type": "string"},
+                "numpy": {"type": "string"},
+            },
+        },
+        "device_counters": {
+            "type": "object",
+            "required": ["kernel_launches", "bytes_read", "bytes_written", "flops"],
+            "properties": {
+                "kernel_launches": {"type": "integer"},
+                "bytes_read": {"type": "number"},
+                "bytes_written": {"type": "number"},
+                "flops": {"type": "number"},
+            },
+        },
+        "artifacts": {"type": "object"},
+    },
+}
+
+#: minimal Trace-Event-Format contract: what Perfetto/chrome://tracing
+#: need from every duration ("X") and metadata ("M") event we emit
+TRACE_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "ph": {"enum": ["X", "M", "I"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "name": {"type": "string"},
+                },
+            },
+        }
+    },
+}
+
+
+def validate_metrics(payload: Any) -> None:
+    validate(payload, METRICS_SCHEMA)
+
+
+def validate_manifest(payload: Any) -> None:
+    validate(payload, MANIFEST_SCHEMA)
+
+
+def validate_trace(payload: Any) -> None:
+    """Check the Trace-Event contract, including X-event timing fields."""
+    validate(payload, TRACE_EVENT_SCHEMA)
+    errors: list[str] = []
+    for i, event in enumerate(payload["traceEvents"]):
+        if event["ph"] != "X":
+            continue
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                errors.append(f"$.traceEvents[{i}]: X event missing numeric {key!r}")
+            elif event[key] < 0:
+                errors.append(f"$.traceEvents[{i}]: negative {key!r}")
+    if errors:
+        raise SchemaError(errors)

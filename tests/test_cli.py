@@ -126,3 +126,131 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "AIR vs Radix" in out
         assert "adversarial" in out
+
+
+class TestLoggingFlags:
+    def test_verbose_and_quiet_accepted_everywhere(self):
+        parser = build_parser()
+        for cmd in ("topk", "compare", "sweep", "auto", "table2"):
+            args = parser.parse_args([cmd, "-v"])
+            assert args.verbose == 1
+            args = parser.parse_args([cmd, "-q"])
+            assert args.quiet is True
+
+    def test_quiet_suppresses_status_lines(self, capsys):
+        assert main(["topk", "--n", "2^13", "--k", "8", "-q"]) == 0
+        captured = capsys.readouterr()
+        assert "air_topk" in captured.out  # results still on stdout
+        assert captured.err == ""  # INFO status lines silenced
+
+    def test_progress_goes_through_logging(self, capsys):
+        assert (
+            main(
+                ["sweep", "--vary", "k", "--n", "2^13", "--points", "8,16",
+                 "--cap", "2^14", "--progress"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "INFO" in err and "air_topk" in err
+
+
+class TestTelemetryFlags:
+    def test_topk_trace_writes_valid_tef(self, tmp_path):
+        import json
+
+        from repro import obs
+
+        trace = tmp_path / "topk.json"
+        assert (
+            main(["topk", "--n", "2^13", "--k", "8", "--trace", str(trace)]) == 0
+        )
+        payload = json.loads(trace.read_text())
+        obs.validate_trace(payload)
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert any(e["cat"].startswith("sim.") for e in xs)  # device streams
+        assert any(e["cat"] == "point" for e in xs)  # host span
+        for e in xs:
+            assert {"ph", "ts", "dur", "pid", "tid", "name"} <= e.keys()
+
+    def test_sweep_writes_trace_metrics_and_manifest(self, tmp_path):
+        import json
+
+        from repro import obs
+
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "metrics.json"
+        csv = tmp_path / "sweep.csv"
+        code = main(
+            ["sweep", "--vary", "k", "--n", "2^13", "--points", "8,64",
+             "--cap", "2^14", "--workers", "2",
+             "--trace", str(trace), "--metrics", str(metrics),
+             "--csv", str(csv)]
+        )
+        assert code == 0
+        trace_payload = json.loads(trace.read_text())
+        obs.validate_trace(trace_payload)
+        lanes = {
+            e["args"]["name"]
+            for e in trace_payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "host" in lanes  # worker lanes group under the host process
+        assert any(lane.startswith("sim ") for lane in lanes)
+        metrics_payload = json.loads(metrics.read_text())
+        obs.validate_metrics(metrics_payload)
+        counter_names = {c["name"] for c in metrics_payload["counters"]}
+        assert "sweep.points" in counter_names
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        obs.validate_manifest(manifest)
+        assert manifest["command"] == "sweep"
+        assert manifest["artifacts"]["trace"] == "out.json"
+        assert manifest["artifacts"]["metrics"] == "metrics.json"
+        assert csv.exists()
+
+
+class TestDriftCommand:
+    def test_drift_reports_per_algorithm(self, tmp_path, capsys):
+        csv = tmp_path / "s.csv"
+        assert (
+            main(["sweep", "--vary", "k", "--n", "2^13", "--points", "8,64",
+                  "--cap", "2^14", "--csv", str(csv), "-q"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["drift", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out and "rmse" in out
+        assert "air_topk" in out
+
+    def test_drift_rejects_non_sweep_csv(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        assert main(["drift", str(bad)]) == 1
+
+
+class TestInspectCommand:
+    def test_inspect_all_artifact_kinds(self, tmp_path, capsys):
+        csv = tmp_path / "s.csv"
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert (
+            main(["sweep", "--vary", "k", "--n", "2^13", "--points", "8",
+                  "--cap", "2^14", "--csv", str(csv),
+                  "--trace", str(trace), "--metrics", str(metrics), "-q"])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["inspect", str(csv)]) == 0
+        assert "status" in capsys.readouterr().out
+        assert main(["inspect", str(trace)]) == 0
+        assert "spans" in capsys.readouterr().out
+        assert main(["inspect", str(metrics)]) == 0
+        assert "metric" in capsys.readouterr().out
+        assert main(["inspect", str(tmp_path / "manifest.json")]) == 0
+        assert "sweep" in capsys.readouterr().out
+
+    def test_inspect_unknown_file(self, tmp_path):
+        other = tmp_path / "x.json"
+        other.write_text("{}")
+        assert main(["inspect", str(other)]) == 1

@@ -250,3 +250,61 @@ class TestSeedModes:
         serial = parallel_sweep(workers=1, **kw)
         pooled = parallel_sweep(workers=2, **kw)
         assert serial.points == pooled.points
+
+
+class TestCounterMerge:
+    """Per-point device counters survive the pool boundary (telemetry
+    satellite: workers=1 and workers=N must report identical totals)."""
+
+    GRID = dict(
+        algos=("sort", "air_topk", "radix_select"),
+        ns=(1 << 10, 1 << 12),
+        ks=(16, 2048),
+        seed=0,
+    )
+
+    def test_ok_rows_carry_counters(self):
+        res = parallel_sweep(workers=1, **self.GRID)
+        for p in res.points:
+            if p.status == "ok":
+                assert p.counters is not None
+                assert p.counters.kernel_launches > 0
+            else:
+                assert p.counters is None
+
+    def test_totals_identical_across_worker_counts(self):
+        from repro.device import aggregate_counters
+
+        serial = parallel_sweep(workers=1, **self.GRID)
+        pooled = parallel_sweep(workers=4, **self.GRID)
+        assert serial.points == pooled.points
+        total_1 = aggregate_counters(serial.points)
+        total_n = aggregate_counters(pooled.points)
+        assert total_1 == total_n
+        assert total_1.kernel_launches > 0
+        assert total_1.bytes_read > 0
+
+    def test_telemetry_merges_worker_spans_and_metrics(self):
+        from repro import obs
+
+        with obs.trace_session() as tracer, obs.metrics_session() as registry:
+            res = parallel_sweep(workers=2, **self.GRID)
+        ok = sum(1 for p in res.points if p.status == "ok")
+        # k > n rows are answered by the engine without running a point,
+        # so only the executed rows produce a host-side span
+        executed = sum(1 for p in res.points if p.k <= p.n)
+        point_spans = [e for e in tracer.events if e.cat == "point"]
+        assert len(point_spans) == executed
+        assert all(e.lane.startswith("host/") for e in point_spans)
+        assert len({e.lane for e in point_spans}) >= 2  # both workers ran
+        # the engine's own sweep span sits in the main lane
+        sweep_spans = [e for e in tracer.events if e.cat == "sweep" and e.name == "sweep"]
+        assert len(sweep_spans) == 1 and sweep_spans[0].lane == "host/main"
+        # merged metrics tally every point by status
+        by_status = {
+            key[1][0][1]: c.value
+            for key, c in registry._counters.items()
+            if key[0] == "sweep.points"
+        }
+        assert by_status.get("ok") == ok
+        assert sum(by_status.values()) == len(res.points)
