@@ -32,7 +32,7 @@ def run_sweep():
     for dist in ("uniform", "normal", "adversarial"):
         data = generate(dist, N, seed=7, adversarial_m=20)[0]
         plain = topk(data, K, algo="air_topk")
-        fused = topk(data, K, algo="air_topk", fuse_last_filter=True)
+        fused = topk(data, K, algo="air_topk", params={"fuse_last_filter": True})
         rows.append(
             (
                 dist,

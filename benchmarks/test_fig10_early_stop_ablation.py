@@ -52,7 +52,7 @@ def run_cases():
     rows = []
     for label, data, k in cases:
         on = topk(data, k, algo="air_topk")
-        off = topk(data, k, algo="air_topk", early_stop=False)
+        off = topk(data, k, algo="air_topk", params={"early_stop": False})
         gain = (off.time - on.time) / off.time
         rows.append((label, on.time, off.time, gain))
     return rows

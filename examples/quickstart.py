@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import A100, H100, available_algorithms, check_topk, topk
+from repro import available_algorithms, check_topk, topk
 
 
 def main() -> None:
@@ -28,7 +28,7 @@ def main() -> None:
     print("output verified against the oracle")
 
     # --- largest-k, different algorithm, different GPU --------------------
-    largest = topk(data, k, algo="grid_select", largest=True, spec=H100)
+    largest = topk(data, k, algo="grid_select", largest=True, device="H100")
     print(
         f"\nlargest {k} via GridSelect on H100: "
         f"{largest.values[:3]} ... in {largest.time * 1e6:.1f} us"
@@ -46,10 +46,11 @@ def main() -> None:
 
     # --- compare the whole roster on one problem ---------------------------
     print(f"\nall algorithms on n=2^20, k={k} (simulated A100):")
-    for algo in available_algorithms():
-        r = topk(data, k, algo=algo, spec=A100)
+    for info in available_algorithms():
+        r = topk(data, k, algo=info.name, device="A100")
         check_topk(data, r.values, r.indices)
-        print(f"  {algo:15s} {r.time * 1e6:9.1f} us")
+        batched = "batched" if info.batched_execution else "per-problem"
+        print(f"  {info.name:15s} {r.time * 1e6:9.1f} us  [{info.library}, {batched}]")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import check_topk, select_k, topk
+from repro import check_topk, topk
 
 
 def score_batch(
@@ -34,8 +34,9 @@ def main() -> None:
     num_users, num_items, top_n = 100, 200_000, 20
     scores = score_batch(num_users, num_items, dim=64, seed=11)
 
-    # --- serve one request batch with the RAFT-style API --------------------
-    values, item_ids = select_k(scores, top_n, select_min=False)
+    # --- serve one request batch through the facade -------------------------
+    ranked = topk(scores, top_n, largest=True)
+    values, item_ids = ranked.values, ranked.indices
     check_topk(scores, values, item_ids, largest=True)
     print(
         f"ranked {num_items:,} items for {num_users} users; "

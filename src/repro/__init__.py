@@ -12,35 +12,41 @@ Quick start::
     from repro import topk
 
     data = np.random.default_rng(0).standard_normal(1 << 20).astype(np.float32)
-    result = topk(data, k=100)              # AIR Top-K on a simulated A100
+    result = topk(data, k=100)              # auto-dispatched, simulated A100
     result.values                           # 100 smallest values, best first
     result.indices                          # their positions in `data`
     result.time                             # simulated seconds
+
+For serving many concurrent queries (micro-batching, sharding, caching,
+backpressure) see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from .algos import (
+    AlgorithmInfo,
     TopKAlgorithm,
     TopKResult,
     UnsupportedProblem,
+    algorithm_names,
     available_algorithms,
     get_algorithm,
 )
+from .api import select_k, topk
 from .core import AIRTopK, GridSelect, GridSelectStream
 from .device import A10, A100, H100, Device, GPUSpec, get_spec
 from .verify import check_topk, oracle_topk_values
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "topk",
     "select_k",
+    "AlgorithmInfo",
     "TopKAlgorithm",
     "TopKResult",
     "UnsupportedProblem",
+    "algorithm_names",
     "available_algorithms",
     "get_algorithm",
     "AIRTopK",
@@ -55,64 +61,3 @@ __all__ = [
     "check_topk",
     "oracle_topk_values",
 ]
-
-
-def topk(
-    data: np.ndarray,
-    k: int,
-    *,
-    algo: str = "air_topk",
-    largest: bool = False,
-    spec: GPUSpec = A100,
-    device: Device | None = None,
-    seed: int = 0,
-    **algo_kwargs,
-) -> TopKResult:
-    """Find the k smallest (or largest) elements of each problem row.
-
-    Parameters
-    ----------
-    data:
-        ``(n,)`` or ``(batch, n)`` array.  float32 is the paper's benchmark
-        dtype; float16/float64 and all 16/32/64-bit integer keys are also
-        supported (the radix pass count follows the key width).
-    k:
-        number of results per problem, ``1 <= k <= n``.
-    algo:
-        registry name — one of :func:`available_algorithms`.  Defaults to
-        the paper's primary contribution, AIR Top-K.
-    largest:
-        select the largest elements instead of the smallest.
-    spec / device:
-        simulated GPU to run on (A100 by default), or an existing
-        :class:`Device` to account the run against.
-    algo_kwargs:
-        forwarded to the algorithm constructor (e.g. ``adaptive=False``).
-
-    Returns
-    -------
-    TopKResult with ``values`` and ``indices`` sorted best-first, and the
-    simulated ``device`` carrying the run's time, counters and trace.
-    """
-    algorithm = get_algorithm(algo, **algo_kwargs)
-    return algorithm.select(
-        data, k, device=device, spec=spec, largest=largest, seed=seed
-    )
-
-
-def select_k(
-    data: np.ndarray,
-    k: int,
-    *,
-    select_min: bool = True,
-    algo: str = "air_topk",
-    **kwargs,
-) -> tuple[np.ndarray, np.ndarray]:
-    """RAFT-style convenience wrapper: ``(values, indices)`` best-first.
-
-    Mirrors ``raft::matrix::select_k`` (the production home of AIR Top-K):
-    row-wise selection over a ``(batch, n)`` matrix with a ``select_min``
-    direction flag, returning plain arrays instead of a result object.
-    """
-    result = topk(data, k, algo=algo, largest=not select_min, **kwargs)
-    return result.values, result.indices

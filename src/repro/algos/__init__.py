@@ -2,7 +2,12 @@
 
 from .auto import AutoTopK
 from .base import RunContext, TopKAlgorithm, TopKResult, UnsupportedProblem
-from .registry import available_algorithms, get_algorithm
+from .registry import (
+    AlgorithmInfo,
+    algorithm_names,
+    available_algorithms,
+    get_algorithm,
+)
 from .sort_topk import SortTopK
 from .radix_select import RadixSelect
 from .warp_select import BlockSelect, WarpSelect
@@ -18,6 +23,8 @@ __all__ = [
     "TopKAlgorithm",
     "TopKResult",
     "UnsupportedProblem",
+    "AlgorithmInfo",
+    "algorithm_names",
     "available_algorithms",
     "get_algorithm",
     "SortTopK",

@@ -3,9 +3,20 @@
 The eight baselines of Table 1 plus the paper's two contributions, under
 the names the benchmark harness and figures use, plus the ``auto``
 dispatcher that picks among them with the cost model.
+
+Construction is uniform across the roster: every algorithm is built via
+:func:`get_algorithm` with one optional ``params`` dict of
+algorithm-specific tuning (``get_algorithm("air_topk", params={"alpha":
+64.0})``), and :func:`available_algorithms` returns structured
+:class:`AlgorithmInfo` capability records — supported dtypes, batch
+behaviour, k limits and the tunables each constructor accepts — rather
+than bare names (use :func:`algorithm_names` for those).
 """
 
 from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
 
 from .auto import AutoTopK
 from .base import TopKAlgorithm
@@ -20,30 +31,120 @@ from .sample_select import SampleSelect
 
 _FACTORIES: dict[str, type[TopKAlgorithm] | object] = {}
 
+#: every key dtype the monotone encoding supports (repro.primitives.radix)
+SUPPORTED_DTYPES = (
+    "float16",
+    "float32",
+    "float64",
+    "int16",
+    "int32",
+    "int64",
+    "uint16",
+    "uint32",
+    "uint64",
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Structured capability record for one registered algorithm.
+
+    This is what :func:`available_algorithms` returns: enough metadata
+    for a caller (the CLI, the serving layer, a dispatcher) to decide
+    whether and how to use a method without instantiating it first.
+    """
+
+    #: registry name, e.g. ``"air_topk"``
+    name: str
+    #: provenance per the paper's Table 1
+    library: str
+    #: taxonomy per Sec. 1 ("sorting", "partial sorting", "partition-based")
+    category: str
+    #: largest supported k, or None for unlimited
+    max_k: int | None
+    #: whether a batch runs as one device-resident launch set (True) or
+    #: serially per problem on the host (False)
+    batched_execution: bool
+    #: whether the method can consume data on-the-fly (Sec. 2.2)
+    on_the_fly: bool
+    #: key dtypes the method accepts (all share the monotone key encoding)
+    dtypes: tuple[str, ...] = SUPPORTED_DTYPES
+    #: names of the constructor's tuning parameters (valid ``params`` keys)
+    tunables: tuple[str, ...] = field(default_factory=tuple)
+
 
 def _register(factory) -> None:
     name = factory().name if isinstance(factory, type) else factory.name
     _FACTORIES[name] = factory
 
 
-def available_algorithms() -> list[str]:
-    """Registered algorithm names (the paper's 10-method roster)."""
+def _tunables(factory) -> tuple[str, ...]:
+    """Keyword parameters of the factory's constructor, by inspection."""
+    target = factory.__init__ if isinstance(factory, type) else factory
+    try:
+        sig = inspect.signature(target)
+    except (TypeError, ValueError):
+        return ()
+    return tuple(
+        p.name
+        for p in sig.parameters.values()
+        if p.name not in ("self",)
+        and p.kind
+        in (inspect.Parameter.KEYWORD_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+    )
+
+
+def _info(name: str) -> AlgorithmInfo:
+    instance = _FACTORIES[name]()
+    return AlgorithmInfo(
+        name=instance.name,
+        library=instance.library,
+        category=instance.category,
+        max_k=instance.max_k,
+        batched_execution=instance.batched_execution,
+        on_the_fly=instance.on_the_fly,
+        tunables=_tunables(_FACTORIES[name]),
+    )
+
+
+def available_algorithms() -> list[AlgorithmInfo]:
+    """Capability records of every registered algorithm, sorted by name.
+
+    Each entry is an :class:`AlgorithmInfo` (supported dtypes, batch
+    support, k limits, tunables).  For the plain name list — CLI choices,
+    parametrised tests — use :func:`algorithm_names`.
+    """
+    _ensure_core()
+    return [_info(name) for name in sorted(_FACTORIES)]
+
+
+def algorithm_names() -> list[str]:
+    """Registered algorithm names (the paper's 10-method roster + extras)."""
     _ensure_core()
     return sorted(_FACTORIES)
 
 
-def get_algorithm(name: str, **kwargs) -> TopKAlgorithm:
-    """Instantiate an algorithm by registry name.
+def get_algorithm(
+    name: str, *, params: dict | None = None, **kwargs
+) -> TopKAlgorithm:
+    """Instantiate an algorithm by registry name, with uniform tuning.
 
-    Keyword arguments are forwarded to the constructor (e.g.
-    ``get_algorithm("air_topk", adaptive=False)`` for the Fig. 9 ablation).
+    Algorithm-specific tuning goes through the single ``params`` dict
+    (``get_algorithm("air_topk", params={"adaptive": False})`` for the
+    Fig. 9 ablation); valid keys are the ``tunables`` of the method's
+    :class:`AlgorithmInfo`.  Plain keyword arguments are still accepted
+    and merged (``params`` wins on conflict) so existing internal call
+    sites keep working.
     """
     _ensure_core()
     if name not in _FACTORIES:
         raise KeyError(
-            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+            f"unknown algorithm {name!r}; available: {algorithm_names()}"
         )
-    return _FACTORIES[name](**kwargs)
+    merged = dict(kwargs)
+    if params:
+        merged.update(params)
+    return _FACTORIES[name](**merged)
 
 
 def _ensure_core() -> None:

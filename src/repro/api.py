@@ -1,0 +1,180 @@
+"""The v2 public facade: one keyword-only ``topk`` entry point.
+
+Everything user-facing — the CLI, :mod:`repro.serve`, the examples —
+funnels through :func:`topk`.  It replaces the v1 pair of ``topk``
+(algorithm-first, ``spec=``/``device=`` split, ``**algo_kwargs``) and
+``select_k`` (RAFT-style tuple wrapper) with a single signature::
+
+    repro.topk(data, k, *, algo="auto", device=A100, largest=False,
+               batch=None, seed=0, params=None)
+
+* ``algo`` defaults to the cost-model ``auto`` dispatcher, so a bare
+  call picks the predicted-fastest method for the problem shape;
+* ``device`` accepts a preset name (``"A100"``), a :class:`GPUSpec`, or
+  an existing :class:`Device` to account the run against — no separate
+  ``spec`` argument;
+* ``batch`` reshapes a flat buffer into ``(batch, n)`` rows, the layout
+  a serving tier hands over;
+* ``params`` is the single dict of algorithm-specific tuning, matching
+  the ``tunables`` of the registry's :class:`~repro.algos.AlgorithmInfo`.
+
+The v1 spellings still work as thin shims — ``select_k(...)``, the
+``spec=`` keyword and loose ``**algo_kwargs`` each emit a
+:class:`DeprecationWarning` and delegate here with identical results
+(pinned by tests/test_api.py).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from .algos import TopKResult, get_algorithm
+from .device import A100, Device, GPUSpec, get_spec
+
+__all__ = ["topk", "select_k", "resolve_device"]
+
+
+def resolve_device(
+    device: Device | GPUSpec | str | None,
+) -> tuple[Device | None, GPUSpec]:
+    """Normalise the facade's ``device`` argument to ``(device, spec)``.
+
+    Accepts an existing :class:`Device` (the run is accounted against
+    it), a :class:`GPUSpec`, a preset name (``"A100"``, ``"H100"``,
+    ``"A10"``), or None for the default A100.
+    """
+    if device is None:
+        return None, A100
+    if isinstance(device, Device):
+        return device, device.spec
+    if isinstance(device, GPUSpec):
+        return None, device
+    if isinstance(device, str):
+        return None, get_spec(device)
+    raise TypeError(
+        f"device must be a Device, GPUSpec or preset name, got {type(device).__name__}"
+    )
+
+
+def topk(
+    data: np.ndarray,
+    k: int,
+    *,
+    algo: str = "auto",
+    device: Device | GPUSpec | str | None = None,
+    largest: bool = False,
+    batch: int | None = None,
+    seed: int = 0,
+    params: dict | None = None,
+    spec: GPUSpec | None = None,
+    **legacy_kwargs,
+) -> TopKResult:
+    """Find the k smallest (or largest) elements of each problem row.
+
+    Parameters
+    ----------
+    data:
+        ``(n,)`` or ``(batch, n)`` array, or a flat buffer combined with
+        ``batch=``.  float32 is the paper's benchmark dtype; float16/
+        float64 and all 16/32/64-bit integer keys are also supported.
+    k:
+        number of results per problem, ``1 <= k <= n``.
+    algo:
+        registry name — one of :func:`repro.algorithm_names`.  Defaults
+        to ``"auto"``, the cost-model dispatcher that runs the
+        predicted-fastest concrete method for the problem shape.
+    device:
+        where to run: a preset name (``"A100"``), a :class:`GPUSpec`, or
+        an existing :class:`Device` to account the run against.
+        Defaults to a fresh simulated A100.
+    largest:
+        select the largest elements instead of the smallest.
+    batch:
+        reshape a flat ``data`` buffer into ``(batch, n)`` problem rows
+        (its size must divide evenly); with 2-d data it must match the
+        leading dimension.
+    seed:
+        deterministic source for algorithmic randomness (pivot sampling).
+    params:
+        algorithm-specific tuning dict, e.g. ``{"adaptive": False}`` for
+        AIR Top-K — the keys are the ``tunables`` of the method's
+        :class:`~repro.algos.AlgorithmInfo`.
+
+    Returns
+    -------
+    TopKResult with ``values`` and ``indices`` sorted best-first, and the
+    simulated ``device`` carrying the run's time, counters and trace.
+    """
+    if spec is not None:
+        warnings.warn(
+            "topk(spec=...) is deprecated; pass device=<spec|name|Device> instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if device is None:
+            device = spec
+    if legacy_kwargs:
+        warnings.warn(
+            f"passing algorithm tuning as loose keyword arguments "
+            f"({sorted(legacy_kwargs)}) is deprecated; use params={{...}}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        merged = dict(legacy_kwargs)
+        merged.update(params or {})
+        params = merged
+
+    data = np.asarray(data)
+    if batch is not None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if data.ndim == 1:
+            if data.size % batch:
+                raise ValueError(
+                    f"cannot split {data.size} elements into {batch} equal rows"
+                )
+            data = data.reshape(batch, -1)
+        elif data.ndim == 2:
+            if data.shape[0] != batch:
+                raise ValueError(
+                    f"data has {data.shape[0]} rows but batch={batch} was requested"
+                )
+        else:
+            raise ValueError(
+                f"data must be 1-d or 2-d (batch, n), got shape {data.shape}"
+            )
+
+    run_device, run_spec = resolve_device(device)
+    algorithm = get_algorithm(algo, params=params)
+    return algorithm.select(
+        data, k, device=run_device, spec=run_spec, largest=largest, seed=seed
+    )
+
+
+def select_k(
+    data: np.ndarray,
+    k: int,
+    *,
+    select_min: bool = True,
+    algo: str = "air_topk",
+    **kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deprecated RAFT-style wrapper: ``(values, indices)`` best-first.
+
+    Use :func:`topk` — this shim emits a :class:`DeprecationWarning` and
+    returns ``(result.values, result.indices)`` unchanged from the v1
+    behaviour (same default algorithm, same direction flag semantics).
+    """
+    warnings.warn(
+        "select_k() is deprecated; use repro.topk(data, k, largest=not "
+        "select_min).values/.indices instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with warnings.catch_warnings():
+        # don't double-warn when legacy kwargs ride along
+        warnings.simplefilter("ignore", DeprecationWarning)
+        result = topk(data, k, algo=algo, largest=not select_min, **kwargs)
+    return result.values, result.indices

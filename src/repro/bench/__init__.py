@@ -13,12 +13,19 @@ from .suite import PaperSuiteResult, run_paper_suite
 from .summary import SpeedupRange, Table2Row, speedup_range, table2
 from .ascii_plot import ascii_plot, plot_sweep
 from .report import (
+    REPORT_QUANTILES,
     format_dispatch_table,
+    format_percentile_table,
     format_series_table,
+    format_status_summary,
     format_table,
     format_time,
     geomean,
+    percentile,
+    percentiles,
     read_csv,
+    status_counts,
+    sweep_time_summary,
     write_csv,
 )
 
@@ -38,11 +45,18 @@ __all__ = [
     "table2",
     "ascii_plot",
     "plot_sweep",
+    "REPORT_QUANTILES",
     "format_dispatch_table",
+    "format_percentile_table",
     "format_series_table",
+    "format_status_summary",
     "format_table",
     "format_time",
     "geomean",
+    "percentile",
+    "percentiles",
     "read_csv",
+    "status_counts",
+    "sweep_time_summary",
     "write_csv",
 ]

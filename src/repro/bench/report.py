@@ -188,3 +188,97 @@ def geomean(values: Sequence[float]) -> float:
     if not vals:
         raise ValueError("geomean needs at least one positive value")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+# -------------------------------------------------------------------------- #
+# shared percentile / distribution summaries
+#
+# Every consumer of latency-like samples — sweep summaries, the serving
+# layer's latency report, the CLI — goes through these helpers instead of
+# re-implementing its own aggregation.
+# -------------------------------------------------------------------------- #
+
+#: the serving-latency quantiles every report prints
+REPORT_QUANTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (linear interpolation between order statistics).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([5.0], 99)
+    5.0
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    vals = sorted(values)
+    if not vals:
+        raise ValueError("percentile needs at least one value")
+    if len(vals) == 1:
+        return vals[0]
+    rank = (q / 100.0) * (len(vals) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return vals[lo]
+    frac = rank - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = REPORT_QUANTILES
+) -> dict[float, float]:
+    """Several percentiles of one sample, as ``{q: value}``."""
+    vals = sorted(values)
+    return {q: percentile(vals, q) for q in qs}
+
+
+def status_counts(points: Iterable[BenchPoint]) -> dict[str, int]:
+    """Per-status row tallies of a sweep (ok / unsupported / error / ...)."""
+    counts: dict[str, int] = {}
+    for p in points:
+        counts[p.status] = counts.get(p.status, 0) + 1
+    return counts
+
+
+def format_status_summary(points: Iterable[BenchPoint]) -> str:
+    """One-line status tally, e.g. ``"12 ok, 3 unsupported"``."""
+    counts = status_counts(points)
+    return ", ".join(f"{v} {s}" for s, v in sorted(counts.items()))
+
+
+def format_percentile_table(
+    samples: dict[str, Sequence[float]],
+    *,
+    qs: Sequence[float] = REPORT_QUANTILES,
+    unit: str = "time",
+) -> str:
+    """Percentile summary table: one row per labelled sample set.
+
+    Used by the sweep summary (per-algorithm simulated times) and by the
+    serving layer's latency report (per-outcome request latencies).
+    """
+    headers = ["series", "count"] + [f"p{q:g}" for q in qs] + [f"max {unit}"]
+    rows = []
+    for label, values in samples.items():
+        vals = sorted(values)
+        if not vals:
+            rows.append([label, 0] + ["-"] * (len(qs) + 1))
+            continue
+        row = [label, len(vals)]
+        row += [format_time(percentile(vals, q)) for q in qs]
+        row.append(format_time(vals[-1]))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def sweep_time_summary(points: Iterable[BenchPoint]) -> str:
+    """Per-algorithm percentile summary of a sweep's measured times."""
+    by_algo: dict[str, list[float]] = {}
+    for p in points:
+        if p.time is not None:
+            by_algo.setdefault(p.algo, []).append(p.time)
+    if not by_algo:
+        return "(no measured points)"
+    return format_percentile_table(dict(sorted(by_algo.items())))

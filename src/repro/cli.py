@@ -26,9 +26,10 @@ import time
 from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
-from . import available_algorithms, obs
+from . import algorithm_names, obs
 from .bench import (
     ALL_ALGORITHMS,
+    BenchPoint,
     format_dispatch_table,
     format_table,
     format_time,
@@ -156,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_topk)
     add_logging(p_topk)
     add_telemetry(p_topk)
-    p_topk.add_argument("--algo", choices=available_algorithms(), default="air_topk")
+    p_topk.add_argument("--algo", choices=algorithm_names(), default="air_topk")
     p_topk.add_argument("--largest", action="store_true")
     p_topk.add_argument(
         "--sol", action="store_true", help="print the per-kernel SOL table"
@@ -223,6 +224,78 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec(p_rep)
     add_logging(p_rep)
     add_telemetry(p_rep)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load test of the top-k serving layer "
+        "(micro-batching, sharding, caching, backpressure)",
+    )
+    p_serve.add_argument("--qps", type=float, default=200.0, help="offered load")
+    p_serve.add_argument(
+        "--duration", type=float, default=2.0, help="virtual seconds of traffic"
+    )
+    p_serve.add_argument("--n", type=_size, default=1 << 16, help="list length")
+    p_serve.add_argument("--k", type=_size, default=64, help="results per query")
+    p_serve.add_argument("--largest", action="store_true")
+    p_serve.add_argument("--distribution", choices=DISTRIBUTIONS, default="uniform")
+    p_serve.add_argument(
+        "--arrival",
+        choices=("poisson", "uniform"),
+        default="poisson",
+        help="arrival process of the virtual-time trace",
+    )
+    p_serve.add_argument(
+        "--pool",
+        type=int,
+        default=4096,
+        help="distinct payloads in the trace (small pool = hot queries, "
+        "exercises the result cache)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request latency SLO; late requests time out",
+    )
+    p_serve.add_argument(
+        "--algo",
+        choices=algorithm_names(),
+        default="auto",
+        help="selection algorithm ('auto' consults the cached cost model)",
+    )
+    p_serve.add_argument(
+        "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, help="size trigger of the batcher"
+    )
+    p_serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=50.0,
+        help="delay trigger: flush a group once its oldest request waited this",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=512,
+        help="admission bound; arrivals beyond it are shed",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split each batch across this many simulated devices (>= 2 "
+        "enables sharded selection + hierarchical merge)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--out",
+        default=None,
+        help="directory for the run manifest (one BenchPoint per micro-batch)",
+    )
+    add_logging(p_serve)
+    add_telemetry(p_serve)
 
     p_drift = sub.add_parser(
         "drift",
@@ -421,7 +494,7 @@ def cmd_topk(args) -> int:
 
 def cmd_compare(args) -> int:
     rows = []
-    for algo in available_algorithms():
+    for algo in algorithm_names():
         try:
             run = simulate_topk(
                 algo,
@@ -648,6 +721,86 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .serve import LoadSpec, ServeConfig, run_serve_bench
+
+    spec = LoadSpec(
+        qps=args.qps,
+        duration_s=args.duration,
+        n=args.n,
+        k=args.k,
+        largest=args.largest,
+        distribution=args.distribution,
+        arrival=args.arrival,
+        payload_pool=args.pool,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        seed=args.seed,
+    )
+    config = ServeConfig(
+        algo=args.algo,
+        device=args.gpu,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+        shards=args.shards,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    with _telemetry_session(args):
+        with obs.span(
+            "serve-bench", cat="serve", qps=args.qps, duration=args.duration
+        ):
+            report, service = run_serve_bench(spec, config)
+    wall = time.perf_counter() - started
+    print(report.format())
+    if args.out:
+        # one BenchPoint per executed micro-batch: the serving analogue of
+        # a sweep row, so manifests stay schema-compatible with PR 2
+        points = [
+            BenchPoint(
+                algo=rec.algo,
+                distribution=spec.distribution,
+                n=rec.n,
+                k=rec.k,
+                batch=rec.size,
+                time=rec.duration_s,
+            )
+            for rec in service.batch_records
+        ]
+        artifacts = {
+            kind: Path(getattr(args, kind)).name
+            for kind in ("trace", "metrics")
+            if getattr(args, kind, None)
+        }
+        manifest = obs.build_manifest(
+            command="serve-bench",
+            config={
+                "qps": args.qps,
+                "duration_s": args.duration,
+                "n": args.n,
+                "k": args.k,
+                "algo": args.algo,
+                "gpu": args.gpu,
+                "arrival": args.arrival,
+                "pool": args.pool,
+                "max_batch": args.max_batch,
+                "max_delay_ms": args.max_delay_ms,
+                "queue_limit": args.queue_limit,
+                "shards": args.shards,
+                "served": report.stats.served,
+                "shed": report.stats.shed,
+                "timeout": report.stats.timeout,
+            },
+            seed=args.seed,
+            points=points,
+            wall_time_s=wall,
+            artifacts=artifacts or None,
+        )
+        path = obs.write_manifest(manifest, Path(args.out) / "manifest.json")
+        logger.info("wrote run manifest to %s", path)
+    return 0
+
+
 def cmd_drift(args) -> int:
     from .obs.drift import drift_report
     from .perf.calibration import CalibrationCache
@@ -784,6 +937,7 @@ COMMANDS = {
     "auto": cmd_auto,
     "table2": cmd_table2,
     "reproduce": cmd_reproduce,
+    "serve-bench": cmd_serve_bench,
     "drift": cmd_drift,
     "inspect": cmd_inspect,
 }

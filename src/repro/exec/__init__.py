@@ -5,6 +5,7 @@ from .engine import (
     ProgressEvent,
     build_grid,
     default_chunk_size,
+    fanout,
     parallel_sweep,
 )
 from .worker import (
@@ -23,6 +24,7 @@ __all__ = [
     "ProgressEvent",
     "build_grid",
     "default_chunk_size",
+    "fanout",
     "parallel_sweep",
     "DEFAULT_RETRIES",
     "ChunkResult",

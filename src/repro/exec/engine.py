@@ -156,6 +156,31 @@ def default_chunk_size(pending: int, workers: int) -> int:
     return max(1, -(-pending // (workers * 8)))
 
 
+def fanout(
+    fn: Callable,
+    items: Sequence,
+    *,
+    workers: int = 1,
+) -> list:
+    """Apply ``fn`` to every item, optionally across a thread pool.
+
+    The engine's generic fan-out primitive, reused by the serving layer's
+    sharder (:mod:`repro.serve.sharder`): shard selections are pure
+    functions of their inputs whose *simulated* time is computed rather
+    than measured, so inline execution (``workers=1``) is the determinism
+    reference and threads only shorten host wall-clock for large numpy
+    slices.  Results always come back in item order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from multiprocessing.pool import ThreadPool
+
+    with ThreadPool(processes=min(workers, len(items))) as pool:
+        return pool.map(fn, items)
+
+
 def parallel_sweep(
     *,
     algos: Sequence[str] = ALL_ALGORITHMS,

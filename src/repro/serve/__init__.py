@@ -1,0 +1,71 @@
+"""Sharded, batched top-k serving (see docs/serving.md).
+
+The layer users actually call in a production deployment: an
+asynchronous-style front end over the simulated-GPU algorithm roster
+that
+
+* **micro-batches** concurrent single-query requests (size- and
+  deadline-triggered flushes) to exploit the paper's batched regime,
+  where one device-resident launch set amortises over the whole batch
+  (:mod:`.batcher`);
+* **shards** large-N problems across simulated devices with per-shard
+  selection and a hierarchical k-way merge of (value, index) candidates,
+  the Dr. Top-k delegate decomposition (:mod:`.sharder`, :mod:`.merge`);
+* **caches** results and cost-model dispatch plans in an LRU keyed on
+  (data fingerprint, n, k, distribution hints) so the ``auto``
+  dispatcher's ranking is reused across requests (:mod:`.cache`);
+* applies **backpressure** — bounded queues, per-request deadlines and
+  load shedding — reporting served / shed / timeout outcomes with full
+  ``serve.*`` telemetry (:mod:`.service`);
+* ships a **closed-loop load generator** and latency report for
+  ``repro-topk serve-bench`` (:mod:`.loadgen`).
+
+All timing is in the repository's simulated-time domain: arrivals are
+drawn on a virtual clock and service times come from the simulated
+device, so a 2-second, 200-QPS load test runs deterministically in
+milliseconds of host time.
+"""
+
+from .batcher import GroupKey, MicroBatcher
+from .cache import DispatchPlan, LRUCache, ServeCache, fingerprint
+from .loadgen import (
+    LoadSpec,
+    SequentialBaseline,
+    ServeBenchReport,
+    build_requests,
+    poisson_arrivals,
+    run_serve_bench,
+    sequential_baseline,
+    uniform_arrivals,
+)
+from .merge import hierarchical_merge, merge_pair
+from .request import Outcome, Request
+from .service import BatchRecord, ServeConfig, ServeStats, TopKService
+from .sharder import shard_bounds, sharded_topk
+
+__all__ = [
+    "BatchRecord",
+    "DispatchPlan",
+    "GroupKey",
+    "LRUCache",
+    "LoadSpec",
+    "MicroBatcher",
+    "Outcome",
+    "Request",
+    "SequentialBaseline",
+    "ServeBenchReport",
+    "ServeCache",
+    "ServeConfig",
+    "ServeStats",
+    "TopKService",
+    "build_requests",
+    "fingerprint",
+    "hierarchical_merge",
+    "merge_pair",
+    "poisson_arrivals",
+    "run_serve_bench",
+    "sequential_baseline",
+    "shard_bounds",
+    "sharded_topk",
+    "uniform_arrivals",
+]

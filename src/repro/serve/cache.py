@@ -1,0 +1,177 @@
+"""LRU result and dispatch-plan caches for the serving layer.
+
+Two things are worth remembering between requests:
+
+* **Dispatch plans** — the ``auto`` dispatcher's cost-model ranking is a
+  pure function of (n, k, batch, GPU spec), so the ranking computed for
+  one micro-batch can be reused for every later batch of the same shape.
+  Plans are keyed on the problem shape with the batch size bucketed to a
+  power of two (the cost model's batch sensitivity is coarse, and
+  bucketing keeps the table small under jittery occupancy).
+* **Results** — identical payloads recur in real serving traffic (hot
+  queries, retries).  Served (values, indices) are keyed on a
+  content fingerprint of the payload plus (n, k, dtype, largest) — the
+  distribution hints that change the answer.
+
+Both sit behind :class:`ServeCache`, a pair of bounded
+:class:`LRUCache` maps with hit/miss counters the service exports as
+``serve.cache`` metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def fingerprint(data: np.ndarray) -> str:
+    """Stable content hash of an array's bytes (blake2b, 16-byte digest)."""
+    arr = np.ascontiguousarray(data)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency and counts hits/misses; ``put`` evicts the
+    stalest entry once ``capacity`` is exceeded.  ``capacity <= 0``
+    disables the cache (every get is a miss, puts are dropped).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        if key in self._data:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key, value) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """A cached ``auto`` decision for one problem-shape bucket."""
+
+    #: concrete algorithm the cost model picked
+    algo: str
+    #: full (algo, predicted seconds) ranking behind the pick
+    ranking: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    @property
+    def predicted_time(self) -> float | None:
+        return self.ranking[0][1] if self.ranking else None
+
+
+def _batch_bucket(batch: int) -> int:
+    """Round a batch size up to a power of two (plan-cache key bucket)."""
+    return 1 << max(0, int(batch) - 1).bit_length()
+
+
+class ServeCache:
+    """Result + dispatch-plan LRU caches shared by a :class:`TopKService`."""
+
+    def __init__(self, *, result_capacity: int = 256, plan_capacity: int = 64):
+        self.results = LRUCache(result_capacity)
+        self.plans = LRUCache(plan_capacity)
+
+    # -- dispatch plans ------------------------------------------------- #
+    def plan_key(
+        self, *, n: int, k: int, batch: int, spec_name: str, largest: bool
+    ) -> tuple:
+        return (n, k, _batch_bucket(batch), spec_name, largest)
+
+    def get_plan(self, **key_fields) -> DispatchPlan | None:
+        return self.plans.get(self.plan_key(**key_fields))
+
+    def put_plan(self, plan: DispatchPlan, **key_fields) -> None:
+        self.plans.put(self.plan_key(**key_fields), plan)
+
+    def make_plan(
+        self, *, n: int, k: int, batch: int, spec, largest: bool, calibration=None
+    ) -> tuple[DispatchPlan, bool]:
+        """Fetch or compute the plan for a shape; returns (plan, was_hit).
+
+        Computing goes through :func:`repro.perf.costmodel.rank_algorithms`
+        — the same ranking the ``auto`` algorithm would derive — with the
+        batch size bucketed so nearby occupancies share one entry.
+        """
+        fields = dict(
+            n=n, k=k, batch=batch, spec_name=spec.name, largest=largest
+        )
+        plan = self.get_plan(**fields)
+        if plan is not None:
+            return plan, True
+        from ..perf.costmodel import rank_algorithms
+
+        ranking = rank_algorithms(
+            n=n,
+            k=k,
+            batch=_batch_bucket(batch),
+            spec=spec,
+            calibration=calibration,
+        )
+        plan = DispatchPlan(
+            algo=ranking[0].algo,
+            ranking=tuple((p.algo, p.time) for p in ranking),
+        )
+        self.put_plan(plan, **fields)
+        return plan, False
+
+    # -- results -------------------------------------------------------- #
+    def result_key(self, data: np.ndarray, k: int, largest: bool) -> tuple:
+        return (fingerprint(data), int(data.shape[-1]), int(k), bool(largest))
+
+    def get_result(self, data: np.ndarray, k: int, largest: bool):
+        return self.results.get(self.result_key(data, k, largest))
+
+    def put_result(
+        self,
+        data: np.ndarray,
+        k: int,
+        largest: bool,
+        values: np.ndarray,
+        indices: np.ndarray,
+    ) -> None:
+        self.results.put(
+            self.result_key(data, k, largest),
+            (np.array(values, copy=True), np.array(indices, copy=True)),
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "result_hits": self.results.hits,
+            "result_misses": self.results.misses,
+            "result_evictions": self.results.evictions,
+            "plan_hits": self.plans.hits,
+            "plan_misses": self.plans.misses,
+            "plan_evictions": self.plans.evictions,
+        }

@@ -1,0 +1,240 @@
+"""Closed-loop load generator and latency report for serve-bench.
+
+Builds a deterministic virtual-time request trace (Poisson or uniform
+arrivals), drives a :class:`TopKService` over it, runs the sequential
+per-request baseline the paper's batched regime is measured against, and
+condenses everything into a :class:`ServeBenchReport` — the p50/p95/p99
+latency table and served/shed/timeout tallies that
+``repro-topk serve-bench`` prints.
+
+Payloads are drawn from a bounded pool (``LoadSpec.payload_pool``): real
+serving traffic repeats hot queries, and a finite pool is what gives the
+LRU result cache something to do.  The pool is materialised as distinct
+sliding windows over one generated base buffer, so memory stays
+O(n + pool) however large the pool is; shrink ``payload_pool`` to raise
+the cache-hit rate, grow it toward the request count to make payloads
+effectively unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bench.report import REPORT_QUANTILES, percentiles
+from ..datagen import generate
+from .request import Request
+from .service import ServeConfig, ServeStats, TopKService
+
+#: arrival process names accepted by :func:`build_requests`
+ARRIVALS = ("poisson", "uniform")
+
+
+def poisson_arrivals(qps: float, duration_s: float, *, seed: int = 0) -> np.ndarray:
+    """Virtual arrival times of a Poisson process at rate ``qps``.
+
+    Gaps are i.i.d. exponential with mean ``1/qps``; the trace covers
+    ``[0, duration_s)``.
+    """
+    if qps <= 0 or duration_s <= 0:
+        raise ValueError(f"qps and duration must be positive, got {qps}, {duration_s}")
+    rng = np.random.default_rng(seed)
+    # draw in chunks until the horizon is passed
+    times: list[np.ndarray] = []
+    total = 0.0
+    while total < duration_s:
+        gaps = rng.exponential(1.0 / qps, size=max(16, int(qps * duration_s)))
+        chunk = total + np.cumsum(gaps)
+        times.append(chunk)
+        total = float(chunk[-1])
+    arrivals = np.concatenate(times)
+    return arrivals[arrivals < duration_s]
+
+
+def uniform_arrivals(qps: float, duration_s: float) -> np.ndarray:
+    """Evenly spaced arrivals at rate ``qps`` over ``[0, duration_s)``."""
+    if qps <= 0 or duration_s <= 0:
+        raise ValueError(f"qps and duration must be positive, got {qps}, {duration_s}")
+    count = int(round(qps * duration_s))
+    return np.arange(count) / qps
+
+
+@dataclass
+class LoadSpec:
+    """One serve-bench workload."""
+
+    qps: float = 200.0
+    duration_s: float = 2.0
+    n: int = 1 << 16
+    k: int = 64
+    largest: bool = False
+    distribution: str = "uniform"
+    #: "poisson" | "uniform"
+    arrival: str = "poisson"
+    #: distinct payloads the trace draws from (repeats feed the cache)
+    payload_pool: int = 4096
+    #: per-request latency SLO; None disables timeouts
+    deadline_s: float | None = None
+    seed: int = 0
+
+
+def build_requests(spec: LoadSpec) -> list[Request]:
+    """Materialise the virtual-time request trace of a :class:`LoadSpec`."""
+    if spec.arrival not in ARRIVALS:
+        raise ValueError(f"arrival must be one of {ARRIVALS}, got {spec.arrival!r}")
+    if spec.payload_pool < 1:
+        raise ValueError(f"payload_pool must be >= 1, got {spec.payload_pool}")
+    if not 1 <= spec.k <= spec.n:
+        raise ValueError(f"k must be in [1, n={spec.n}], got k={spec.k}")
+    if spec.arrival == "poisson":
+        arrivals = poisson_arrivals(spec.qps, spec.duration_s, seed=spec.seed)
+    else:
+        arrivals = uniform_arrivals(spec.qps, spec.duration_s)
+    # the payload pool: `payload_pool` distinct sliding windows over one
+    # base buffer — O(n + pool) memory however large the pool is
+    base = generate(
+        spec.distribution,
+        spec.n + spec.payload_pool - 1,
+        batch=1,
+        seed=spec.seed,
+    )[0]
+    rng = np.random.default_rng(spec.seed + 1)
+    picks = rng.integers(0, spec.payload_pool, size=len(arrivals))
+    return [
+        Request(
+            rid=rid,
+            data=base[pick : pick + spec.n],
+            k=spec.k,
+            largest=spec.largest,
+            arrival_s=float(t),
+            deadline_s=(
+                None if spec.deadline_s is None else float(t) + spec.deadline_s
+            ),
+        )
+        for rid, (t, pick) in enumerate(zip(arrivals, picks))
+    ]
+
+
+@dataclass
+class SequentialBaseline:
+    """Per-request dispatch cost with no batching and no caching."""
+
+    #: simulated seconds one single-query selection takes (mean of samples)
+    per_request_s: float
+    #: how many distinct payloads were sampled to estimate it
+    sampled: int
+
+    @property
+    def capacity_rps(self) -> float:
+        return 1.0 / self.per_request_s if self.per_request_s > 0 else 0.0
+
+
+def sequential_baseline(
+    spec: LoadSpec, config: ServeConfig, *, samples: int = 4
+) -> SequentialBaseline:
+    """Measure the one-request-per-launch dispatch the service replaces.
+
+    Runs ``samples`` distinct single-query selections through the same
+    algorithm/device the service uses (batch = 1, no cache) and averages
+    their simulated times — the per-request cost of sequential dispatch.
+    """
+    from ..api import topk
+
+    samples = max(1, min(samples, spec.payload_pool))
+    pool = generate(spec.distribution, spec.n, batch=samples, seed=spec.seed)
+    service = TopKService(config)  # reuse its plan resolution, fresh caches
+    algo = config.algo
+    if algo == "auto":
+        plan, _ = service.cache.make_plan(
+            n=spec.n, k=spec.k, batch=1, spec=service.spec, largest=spec.largest
+        )
+        algo = plan.algo
+    times = []
+    for row in range(samples):
+        result = topk(
+            pool[row],
+            spec.k,
+            algo=algo,
+            device=service.spec,
+            largest=spec.largest,
+            seed=config.seed,
+            params=config.params,
+        )
+        times.append(result.time)
+    return SequentialBaseline(
+        per_request_s=float(np.mean(times)), sampled=samples
+    )
+
+
+@dataclass
+class ServeBenchReport:
+    """Everything ``repro-topk serve-bench`` prints, as data."""
+
+    spec: LoadSpec
+    stats: ServeStats
+    baseline: SequentialBaseline
+    #: simulated-latency percentiles of served requests, {q: seconds}
+    latency: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Micro-batched capacity over sequential per-request capacity."""
+        if self.stats.capacity_rps <= 0 or self.baseline.capacity_rps <= 0:
+            return 0.0
+        return self.stats.capacity_rps / self.baseline.capacity_rps
+
+    def lines(self) -> list[str]:
+        s = self.stats
+        out = [
+            f"serve-bench: {self.spec.qps:g} qps x {self.spec.duration_s:g}s "
+            f"(n={self.spec.n}, k={self.spec.k}, {self.spec.arrival} arrivals)",
+            f"  requests: {s.total}  served={s.served} shed={s.shed} "
+            f"timeout={s.timeout}",
+            f"  batches: {s.batches}  mean occupancy={s.mean_occupancy:.1f}",
+        ]
+        if self.latency:
+            parts = "  ".join(
+                f"p{q:g}={self.latency[q] * 1e3:.3f}ms"
+                for q in sorted(self.latency)
+            )
+            out.append(f"  simulated latency: {parts}")
+        out.append(
+            f"  capacity: {s.capacity_rps:,.0f} req/s batched vs "
+            f"{self.baseline.capacity_rps:,.0f} req/s sequential "
+            f"(speedup {self.speedup:.1f}x)"
+        )
+        if s.cache:
+            out.append(
+                "  cache: "
+                f"result {s.cache.get('result_hits', 0)} hit / "
+                f"{s.cache.get('result_misses', 0)} miss, "
+                f"plan {s.cache.get('plan_hits', 0)} hit / "
+                f"{s.cache.get('plan_misses', 0)} miss"
+            )
+        return out
+
+    def format(self) -> str:
+        return "\n".join(self.lines())
+
+
+def run_serve_bench(
+    spec: LoadSpec, config: ServeConfig | None = None
+) -> tuple[ServeBenchReport, TopKService]:
+    """Drive one full load test; returns (report, the finished service)."""
+    config = config or ServeConfig()
+    service = TopKService(config)
+    requests = build_requests(spec)
+    stats = service.run(requests)
+    baseline = sequential_baseline(spec, config)
+    latency = (
+        percentiles(stats.latencies_s, REPORT_QUANTILES)
+        if stats.latencies_s
+        else {}
+    )
+    return (
+        ServeBenchReport(
+            spec=spec, stats=stats, baseline=baseline, latency=latency
+        ),
+        service,
+    )

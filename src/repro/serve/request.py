@@ -1,0 +1,64 @@
+"""Request and outcome records of the serving layer.
+
+A :class:`Request` is one caller's top-k query with its virtual-time
+arrival and deadline; an :class:`Outcome` is what the service reports
+back — served with results and latency, shed at admission, or timed out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: every status an Outcome can carry
+OUTCOMES = ("served", "shed", "timeout")
+
+
+@dataclass
+class Request:
+    """One top-k query in flight."""
+
+    #: monotonically increasing request id (submission order)
+    rid: int
+    #: the query payload, shape (n,)
+    data: np.ndarray
+    #: results wanted
+    k: int
+    #: direction flag
+    largest: bool
+    #: virtual arrival time, seconds
+    arrival_s: float
+    #: absolute virtual deadline, or None for no deadline
+    deadline_s: float | None = None
+
+    @property
+    def n(self) -> int:
+        return int(self.data.shape[-1])
+
+
+@dataclass
+class Outcome:
+    """The service's verdict on one request."""
+
+    rid: int
+    #: "served", "shed" (rejected at admission, queue full) or "timeout"
+    #: (deadline passed while queued or before the batch completed)
+    status: str
+    #: virtual completion time (served), or the time the verdict was made
+    finish_s: float
+    #: completion - arrival, seconds; None unless served
+    latency_s: float | None = None
+    #: requests sharing the executed micro-batch (served only)
+    batch_size: int = 0
+    #: concrete algorithm the batch ran (served only)
+    algo: str = ""
+    #: whether the result came from the LRU result cache
+    cache_hit: bool = False
+    #: selected values/indices, best first (served only)
+    values: np.ndarray | None = field(default=None, repr=False)
+    indices: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in OUTCOMES:
+            raise ValueError(f"status must be one of {OUTCOMES}, got {self.status!r}")

@@ -1,0 +1,354 @@
+"""The top-k serving event loop: admission, batching, dispatch, SLOs.
+
+:class:`TopKService` is a discrete-event simulation of a single-device
+serving node.  Requests arrive on a **virtual clock**; the device is a
+resource with a ``free-at`` cursor; service times are the simulated
+device times of the underlying algorithms.  The loop interleaves three
+event sources in time order:
+
+1. **arrivals** — admission control sheds a request immediately when the
+   queue is at ``queue_limit`` (bounded queue, load shedding);
+2. **size triggers** — a batch group reaching ``max_batch`` flushes at
+   once;
+3. **delay triggers** — a group whose oldest request has waited
+   ``max_delay_s`` flushes even if under-full.
+
+A flushed batch starts when the device is free, runs for the simulated
+batched-selection time, and completes; per-request latency is
+``completion − arrival``.  Requests whose deadline passes before their
+batch can start are timed out without burning device time.  Everything
+is reported through ``serve.*`` metrics when a metrics session is
+active, and summarised in :class:`ServeStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api import resolve_device, topk
+from ..obs import get_metrics
+from .batcher import GroupKey, MicroBatcher
+from .cache import ServeCache
+from .request import Outcome, Request
+from .sharder import sharded_topk
+
+#: histogram bounds for serve.latency (simulated seconds)
+_LATENCY_BOUNDS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
+#: histogram bounds for serve.batch_occupancy (requests per launch)
+_OCCUPANCY_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass
+class ServeConfig:
+    """Policy knobs of one serving node."""
+
+    #: registry algorithm; "auto" consults the cost model via the plan cache
+    algo: str = "auto"
+    #: device model — GPUSpec, preset name, or None for A100
+    device: object = None
+    #: size trigger: flush a group at this many requests
+    max_batch: int = 64
+    #: delay trigger: flush a group once its oldest request waited this long
+    max_delay_s: float = 0.05
+    #: admission bound: shed arrivals once this many requests are queued
+    queue_limit: int = 512
+    #: default per-request latency SLO; None disables timeouts
+    default_deadline_s: float | None = None
+    #: split each batch row-wise across this many simulated devices (>= 2
+    #: enables sharded execution; results stay identical to single-shot)
+    shards: int = 1
+    #: only shard problems at least this large
+    shard_min_n: int = 1 << 16
+    #: LRU capacities (0 disables the respective cache)
+    result_cache: int = 256
+    plan_cache: int = 64
+    #: seed forwarded to the algorithms' internal sampling
+    seed: int = 0
+    #: algorithm tuning params forwarded to the registry
+    params: dict | None = None
+
+
+@dataclass
+class BatchRecord:
+    """One executed micro-batch (the serving analogue of a BenchPoint)."""
+
+    batch_id: int
+    algo: str
+    n: int
+    k: int
+    size: int
+    start_s: float
+    finish_s: float
+    duration_s: float
+    largest: bool
+    plan_hit: bool = False
+
+
+@dataclass
+class ServeStats:
+    """Aggregate outcome of one :meth:`TopKService.run`."""
+
+    served: int = 0
+    shed: int = 0
+    timeout: int = 0
+    batches: int = 0
+    #: total simulated device-busy seconds across all batches
+    busy_s: float = 0.0
+    #: virtual time the last event finished
+    makespan_s: float = 0.0
+    #: served-request latencies, seconds (ordered by completion)
+    latencies_s: list = field(default_factory=list)
+    #: per-batch request counts
+    occupancies: list = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.served + self.shed + self.timeout
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.occupancies:
+            return 0.0
+        return sum(self.occupancies) / len(self.occupancies)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Served requests per second of device-busy time.
+
+        The device-limited throughput ceiling — what the node could
+        sustain at 100% utilisation — independent of the offered load's
+        idle gaps, so it is comparable across arrival patterns.
+        """
+        if self.busy_s <= 0:
+            return 0.0
+        # cache hits consume no device time; count only executed requests
+        executed = sum(self.occupancies)
+        return executed / self.busy_s
+
+
+class TopKService:
+    """Discrete-event top-k serving node over the simulated device."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        run_device, spec = resolve_device(self.config.device)
+        if run_device is not None:
+            raise ValueError(
+                "TopKService owns its device timeline; pass a GPUSpec or "
+                "preset name, not an existing Device"
+            )
+        self.spec = spec
+        self.batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.max_delay_s,
+        )
+        self.cache = ServeCache(
+            result_capacity=self.config.result_cache,
+            plan_capacity=self.config.plan_cache,
+        )
+        self.outcomes: list[Outcome] = []
+        self.batch_records: list[BatchRecord] = []
+        self.stats = ServeStats()
+        self._device_free_s = 0.0
+
+    # -- metrics helpers ------------------------------------------------ #
+    def _count(self, name: str, amount: float = 1.0, **labels) -> None:
+        registry = get_metrics()
+        if registry is not None:
+            registry.counter(name, **labels).inc(amount)
+
+    def _observe(self, name: str, value: float, bounds) -> None:
+        registry = get_metrics()
+        if registry is not None:
+            registry.histogram(name, bounds=bounds).observe(value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        registry = get_metrics()
+        if registry is not None:
+            registry.gauge(name).set(value)
+
+    # -- outcome bookkeeping -------------------------------------------- #
+    def _finish(self, outcome: Outcome) -> Outcome:
+        self.outcomes.append(outcome)
+        setattr(self.stats, outcome.status, getattr(self.stats, outcome.status) + 1)
+        self.stats.makespan_s = max(self.stats.makespan_s, outcome.finish_s)
+        self._count("serve.requests", status=outcome.status)
+        if outcome.latency_s is not None:
+            self.stats.latencies_s.append(outcome.latency_s)
+            self._observe("serve.latency", outcome.latency_s, _LATENCY_BOUNDS)
+        return outcome
+
+    # -- admission ------------------------------------------------------ #
+    def submit(self, request: Request) -> Outcome | None:
+        """Admit one request at its virtual arrival time.
+
+        Returns an :class:`Outcome` immediately for a shed request or a
+        result-cache hit; returns None when the request was queued.
+        """
+        cfg = self.config
+        if request.deadline_s is None and cfg.default_deadline_s is not None:
+            request.deadline_s = request.arrival_s + cfg.default_deadline_s
+        cached = self.cache.get_result(request.data, request.k, request.largest)
+        if cfg.result_cache > 0:
+            self._count(
+                "serve.cache",
+                event="result_hit" if cached is not None else "result_miss",
+            )
+        if cached is not None:
+            values, indices = cached
+            return self._finish(
+                Outcome(
+                    rid=request.rid,
+                    status="served",
+                    finish_s=request.arrival_s,
+                    latency_s=0.0,
+                    batch_size=1,
+                    algo="cache",
+                    cache_hit=True,
+                    values=values,
+                    indices=indices,
+                )
+            )
+        if self.batcher.pending >= cfg.queue_limit:
+            return self._finish(
+                Outcome(
+                    rid=request.rid,
+                    status="shed",
+                    finish_s=request.arrival_s,
+                )
+            )
+        self.batcher.add(request)
+        self._gauge("serve.queue_depth", self.batcher.pending)
+        return None
+
+    # -- execution ------------------------------------------------------ #
+    def _execute(self, key: GroupKey, trigger_s: float) -> None:
+        """Flush one group: drop expired requests, run the rest as a batch."""
+        cfg = self.config
+        batch = self.batcher.pop(key)
+        start_s = max(trigger_s, self._device_free_s)
+        alive = []
+        for request in batch:
+            if request.deadline_s is not None and request.deadline_s < start_s:
+                self._finish(
+                    Outcome(
+                        rid=request.rid,
+                        status="timeout",
+                        finish_s=min(request.deadline_s, start_s),
+                    )
+                )
+            else:
+                alive.append(request)
+        self._gauge("serve.queue_depth", self.batcher.pending)
+        if not alive:
+            return
+
+        data = np.stack([r.data for r in alive])
+        algo, plan_hit = cfg.algo, False
+        if cfg.algo == "auto":
+            plan, plan_hit = self.cache.make_plan(
+                n=key.n,
+                k=key.k,
+                batch=len(alive),
+                spec=self.spec,
+                largest=key.largest,
+            )
+            algo = plan.algo
+            self._count(
+                "serve.cache", event="plan_hit" if plan_hit else "plan_miss"
+            )
+        if cfg.shards > 1 and key.n >= cfg.shard_min_n:
+            result = sharded_topk(
+                data,
+                key.k,
+                shards=cfg.shards,
+                algo=algo,
+                device=self.spec,
+                largest=key.largest,
+                seed=cfg.seed,
+                params=cfg.params,
+            )
+        else:
+            result = topk(
+                data,
+                key.k,
+                algo=algo,
+                device=self.spec,
+                largest=key.largest,
+                seed=cfg.seed,
+                params=cfg.params,
+            )
+        duration_s = result.time
+        finish_s = start_s + duration_s
+        self._device_free_s = finish_s
+        self.stats.batches += 1
+        self.stats.busy_s += duration_s
+        self.stats.occupancies.append(len(alive))
+        self._observe("serve.batch_occupancy", len(alive), _OCCUPANCY_BOUNDS)
+        self.batch_records.append(
+            BatchRecord(
+                batch_id=len(self.batch_records),
+                algo=result.algo,
+                n=key.n,
+                k=key.k,
+                size=len(alive),
+                start_s=start_s,
+                finish_s=finish_s,
+                duration_s=duration_s,
+                largest=key.largest,
+                plan_hit=plan_hit,
+            )
+        )
+        for row, request in enumerate(alive):
+            values = np.array(result.values[row], copy=True)
+            indices = np.array(result.indices[row], copy=True)
+            if request.deadline_s is not None and request.deadline_s < finish_s:
+                self._finish(
+                    Outcome(
+                        rid=request.rid,
+                        status="timeout",
+                        finish_s=request.deadline_s,
+                    )
+                )
+                continue
+            self.cache.put_result(
+                request.data, request.k, request.largest, values, indices
+            )
+            self._finish(
+                Outcome(
+                    rid=request.rid,
+                    status="served",
+                    finish_s=finish_s,
+                    latency_s=finish_s - request.arrival_s,
+                    batch_size=len(alive),
+                    algo=result.algo,
+                    values=values,
+                    indices=indices,
+                )
+            )
+
+    # -- the event loop -------------------------------------------------- #
+    def run(self, requests: list[Request]) -> ServeStats:
+        """Serve a full virtual-time trace of requests to completion."""
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
+        i = 0
+        while i < len(pending) or self.batcher.pending:
+            next_arrival = pending[i].arrival_s if i < len(pending) else None
+            flush = self.batcher.next_flush_time()
+            if next_arrival is not None and (
+                flush is None or next_arrival <= flush[0]
+            ):
+                request = pending[i]
+                i += 1
+                self.submit(request)
+                key = self.batcher.size_ready()
+                if key is not None:
+                    self._execute(key, request.arrival_s)
+            else:
+                deadline, key = flush
+                self._execute(key, deadline)
+        self.stats.cache = self.cache.stats()
+        return self.stats

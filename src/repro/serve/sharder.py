@@ -1,0 +1,135 @@
+"""Shard large-N selections across simulated devices and merge.
+
+Splits each problem row into contiguous chunks, runs an exact top-k per
+chunk on its own simulated device (fan-out via
+:func:`repro.exec.fanout`, the engine's generic primitive), offsets the
+per-shard indices back to global positions, and tree-merges the
+candidates (:mod:`.merge`).  The coordinator device models the
+multi-device critical path: shards execute concurrently, so its clock
+starts at the *slowest* shard and then pays one merge kernel per tree
+level plus the final synchronisation — the same accounting shape as the
+paper's multi-GPU scaling experiment (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algos import TopKResult, get_algorithm
+from ..api import resolve_device
+from ..device import Device, streaming_grid
+from ..exec import fanout
+from .merge import hierarchical_merge
+
+#: comparator-ish FLOPs charged per merged candidate per level
+_MERGE_OPS_PER_ELEM = 4.0
+
+
+def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous [start, end) chunks covering ``n`` elements.
+
+    >>> shard_bounds(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > n:
+        raise ValueError(f"cannot cut {n} elements into {shards} shards")
+    bounds = []
+    start = 0
+    for s in range(shards):
+        size = n // shards + (1 if s < n % shards else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def sharded_topk(
+    data: np.ndarray,
+    k: int,
+    *,
+    shards: int,
+    algo: str = "auto",
+    device=None,
+    largest: bool = False,
+    seed: int = 0,
+    params: dict | None = None,
+    workers: int = 1,
+) -> TopKResult:
+    """Top-k by per-shard selection + hierarchical merge.
+
+    Semantically identical to a single-shot :func:`repro.topk` call —
+    byte-identical values/indices over unique-valued data, an equal-value
+    top-k otherwise (pinned by tests/test_serve.py) — but executed as
+    ``shards`` independent sub-selections on ``shards`` simulated
+    devices.  ``workers`` > 1 additionally spreads the host-side numpy
+    work over threads; it never changes the result.
+
+    Returns a :class:`TopKResult` whose ``device`` is the coordinator:
+    its elapsed time is ``max(shard times) + merge + sync``.
+    """
+    data = np.asarray(data)
+    squeeze = data.ndim == 1
+    if squeeze:
+        data = data[None, :]
+    if data.ndim != 2:
+        raise ValueError(
+            f"data must be 1-d or 2-d (batch, n), got shape {data.shape}"
+        )
+    n = data.shape[1]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n={n}], got k={k}")
+    run_device, spec = resolve_device(device)
+    if run_device is not None:
+        raise ValueError(
+            "sharded_topk coordinates its own devices; pass a GPUSpec or "
+            "preset name, not an existing Device"
+        )
+    bounds = shard_bounds(n, shards)
+
+    def run_shard(bound: tuple[int, int]):
+        start, end = bound
+        shard_k = min(k, end - start)
+        algorithm = get_algorithm(algo, params=params)
+        result = algorithm.select(
+            np.ascontiguousarray(data[:, start:end]),
+            shard_k,
+            spec=spec,
+            largest=largest,
+            seed=seed,
+        )
+        return result.values, result.indices + start, result.time
+
+    shard_runs = fanout(run_shard, bounds, workers=workers)
+    partials = [(values, indices) for values, indices, _ in shard_runs]
+    values, indices, levels = hierarchical_merge(partials, k, largest=largest)
+
+    # coordinator: shards ran concurrently, so the critical path starts at
+    # the slowest shard, then pays the merge tree and the final sync
+    coordinator = Device(spec)
+    slowest = max(time for _, _, time in shard_runs)
+    coordinator.cpu_time = coordinator.gpu_time = slowest
+    candidates = sum(p[0].shape[1] for p in partials) * data.shape[0]
+    elem_bytes = 8.0 + data.dtype.itemsize  # key + index per candidate
+    for level in range(levels):
+        merged = max(1, candidates >> level)
+        coordinator.launch_kernel(
+            f"shard_merge_l{level}",
+            grid_blocks=streaming_grid(spec, merged),
+            block_threads=256,
+            bytes_read=elem_bytes * merged,
+            bytes_written=elem_bytes * max(1, merged // 2),
+            flops=_MERGE_OPS_PER_ELEM * merged,
+            span_args={"level": level, "candidates": merged},
+        )
+    coordinator.synchronize("sync_result")
+
+    if squeeze:
+        values = values[0]
+        indices = indices[0]
+    return TopKResult(
+        values=values,
+        indices=indices,
+        algo=f"sharded({algo}x{shards})",
+        device=coordinator,
+    )

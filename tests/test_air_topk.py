@@ -10,8 +10,13 @@ from repro.datagen import generate
 from repro.device import A100, Device
 
 
+#: facade-level keywords; everything else is AIR tuning and goes in params=
+_FACADE_KEYS = ("largest", "seed", "device", "batch")
+
+
 def run_air(data, k, **kwargs):
-    return topk(data, k, algo="air_topk", **kwargs)
+    facade = {key: kwargs.pop(key) for key in _FACADE_KEYS if key in kwargs}
+    return topk(data, k, algo="air_topk", params=kwargs or None, **facade)
 
 
 class TestIterationFusedDesign:

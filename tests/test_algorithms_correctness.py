@@ -10,10 +10,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import UnsupportedProblem, available_algorithms, check_topk, topk
+from repro import UnsupportedProblem, algorithm_names, check_topk, topk
 from repro.datagen import generate
 
-ALGOS = available_algorithms()
+ALGOS = algorithm_names()
 
 #: largest k each algorithm supports (None = unlimited)
 MAX_K = {
@@ -192,7 +192,9 @@ class TestInputValidation:
         data = rng.standard_normal(100).astype(np.float32)
         r = topk(data, 5)
         assert r.time > 0
-        assert r.algo == "air_topk"
+        # v2 facade dispatches through the cost model by default
+        assert r.algo == "auto"
+        assert topk(data, 5, algo="air_topk").algo == "air_topk"
 
 
 class TestResultOrdering:

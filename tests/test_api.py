@@ -1,0 +1,128 @@
+"""The v2 facade: one keyword-only topk(), deprecation shims, devices."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import A100, H100, Device, check_topk, get_spec, select_k, topk
+from repro.api import resolve_device
+
+
+class TestFacade:
+    def test_default_is_auto_dispatch(self, rng):
+        data = rng.standard_normal(4096).astype(np.float32)
+        r = topk(data, 16)
+        assert r.algo == "auto"
+        check_topk(data, r.values, r.indices)
+
+    def test_keyword_only(self, rng):
+        data = rng.standard_normal(256).astype(np.float32)
+        with pytest.raises(TypeError):
+            topk(data, 8, "air_topk")  # algo must be keyword
+
+    def test_largest_and_algo(self, rng):
+        data = rng.standard_normal(4096).astype(np.float32)
+        r = topk(data, 16, algo="grid_select", largest=True)
+        check_topk(data, r.values, r.indices, largest=True)
+
+    def test_params_reach_the_algorithm(self, rng):
+        data = rng.standard_normal(1 << 14).astype(np.float32)
+        fused = topk(data, 64, algo="air_topk", params={"fuse_last_filter": True})
+        plain = topk(data, 64, algo="air_topk", params={"fuse_last_filter": False})
+        assert np.array_equal(fused.values, plain.values)
+        launches = lambda r: r.device.counters.kernel_launches  # noqa: E731
+        assert launches(fused) == launches(plain) - 1
+
+    def test_batch_reshapes_flat_buffer(self, rng):
+        flat = rng.standard_normal(8 * 1024).astype(np.float32)
+        r = topk(flat, 8, algo="sort", batch=8)
+        assert r.values.shape == (8, 8)
+        expected = topk(flat.reshape(8, 1024), 8, algo="sort")
+        assert np.array_equal(r.values, expected.values)
+        assert np.array_equal(r.indices, expected.indices)
+
+    def test_batch_must_divide(self, rng):
+        flat = rng.standard_normal(1000).astype(np.float32)
+        with pytest.raises(ValueError):
+            topk(flat, 4, batch=7)
+
+    def test_batch_must_match_2d(self, rng):
+        data = rng.standard_normal((4, 128)).astype(np.float32)
+        with pytest.raises(ValueError):
+            topk(data, 4, batch=3)
+        assert topk(data, 4, algo="sort", batch=4).values.shape == (4, 4)
+
+
+class TestDeviceResolution:
+    def test_default_is_a100(self):
+        run_device, spec = resolve_device(None)
+        assert run_device is None and spec is A100
+
+    def test_preset_name(self):
+        _, spec = resolve_device("H100")
+        assert spec is get_spec("H100")
+
+    def test_spec_object(self):
+        _, spec = resolve_device(H100)
+        assert spec is H100
+
+    def test_existing_device_is_reused(self, rng):
+        dev = Device(A100)
+        data = rng.standard_normal(512).astype(np.float32)
+        r = topk(data, 4, algo="sort", device=dev)
+        assert r.device is dev
+
+    def test_bad_device_type(self):
+        with pytest.raises(TypeError):
+            resolve_device(3.14)
+
+    def test_facade_accepts_preset_string(self, rng):
+        data = rng.standard_normal(512).astype(np.float32)
+        r = topk(data, 4, algo="sort", device="H100")
+        assert r.device.spec is get_spec("H100")
+
+
+class TestDeprecationShims:
+    """Old v1 signatures keep working, warn, and return identical results."""
+
+    def test_select_k_warns_and_matches(self, rng):
+        data = rng.standard_normal((3, 2000)).astype(np.float32)
+        with pytest.warns(DeprecationWarning, match="select_k"):
+            values, indices = select_k(data, 16)
+        modern = topk(data, 16, algo="air_topk")
+        assert np.array_equal(values, modern.values)
+        assert np.array_equal(indices, modern.indices)
+
+    def test_select_k_select_min_false(self, rng):
+        data = rng.standard_normal(2000).astype(np.float32)
+        with pytest.warns(DeprecationWarning):
+            values, indices = select_k(data, 8, select_min=False)
+        modern = topk(data, 8, algo="air_topk", largest=True)
+        assert np.array_equal(values, modern.values)
+        assert np.array_equal(indices, modern.indices)
+
+    def test_spec_kwarg_warns_and_matches(self, rng):
+        data = rng.standard_normal(2000).astype(np.float32)
+        with pytest.warns(DeprecationWarning, match="spec="):
+            old = topk(data, 8, algo="sort", spec=H100)
+        new = topk(data, 8, algo="sort", device=H100)
+        assert old.device.spec is H100
+        assert np.array_equal(old.values, new.values)
+        assert np.array_equal(old.indices, new.indices)
+
+    def test_loose_tuning_kwargs_warn_and_match(self, rng):
+        data = rng.standard_normal(1 << 14).astype(np.float32)
+        with pytest.warns(DeprecationWarning, match="params"):
+            old = topk(data, 64, algo="air_topk", early_stop=False)
+        new = topk(data, 64, algo="air_topk", params={"early_stop": False})
+        assert np.array_equal(old.values, new.values)
+        assert np.array_equal(old.indices, new.indices)
+
+    def test_modern_calls_do_not_warn(self, rng):
+        data = rng.standard_normal(2000).astype(np.float32)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            topk(data, 8, algo="air_topk", device="A100", params={"alpha": 64.0})

@@ -7,6 +7,7 @@ import pytest
 
 from repro import check_topk, topk
 from repro.algos import (
+    AlgorithmInfo,
     BitonicTopK,
     BlockSelect,
     BucketSelect,
@@ -15,6 +16,7 @@ from repro.algos import (
     SampleSelect,
     SortTopK,
     WarpSelect,
+    algorithm_names,
     available_algorithms,
     get_algorithm,
 )
@@ -25,7 +27,7 @@ class TestRegistry:
     def test_full_roster(self):
         """The paper's Table 1 roster, the two contributions, and the
         cost-model dispatcher."""
-        assert available_algorithms() == [
+        assert algorithm_names() == [
             "air_topk",
             "auto",
             "bitonic_topk",
@@ -39,6 +41,21 @@ class TestRegistry:
             "sort",
             "warp_select",
         ]
+
+    def test_capability_records(self):
+        """available_algorithms() returns structured capability records."""
+        infos = available_algorithms()
+        assert all(isinstance(i, AlgorithmInfo) for i in infos)
+        assert [i.name for i in infos] == algorithm_names()
+        by_name = {i.name: i for i in infos}
+        assert by_name["warp_select"].max_k == 2048
+        assert by_name["bitonic_topk"].max_k == 256
+        assert by_name["grid_select"].batched_execution
+        assert not by_name["sort"].batched_execution
+        assert "float32" in by_name["air_topk"].dtypes
+        # tunables are discovered from the constructors
+        assert "alpha" in by_name["air_topk"].tunables
+        assert "candidates" in by_name["auto"].tunables
 
     def test_kwargs_forwarded(self):
         air = get_algorithm("air_topk", alpha=64.0, adaptive=False)

@@ -209,6 +209,50 @@ class TestTelemetryFlags:
         assert csv.exists()
 
 
+class TestServeBenchCommand:
+    def test_serve_bench_prints_report(self, capsys):
+        code = main(
+            ["serve-bench", "--qps", "300", "--duration", "0.5",
+             "--n", "2^12", "--k", "16", "--algo", "sort", "-q"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for needle in ("p50", "p95", "p99", "served=", "shed=", "timeout=",
+                       "speedup"):
+            assert needle in out
+
+    def test_serve_bench_writes_valid_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["serve-bench", "--qps", "300", "--duration", "0.5",
+             "--n", "2^12", "--k", "16", "--algo", "sort",
+             "--out", str(tmp_path), "--metrics", str(metrics), "-q"]
+        )
+        assert code == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        obs.validate_manifest(manifest)
+        assert manifest["command"] == "serve-bench"
+        assert manifest["grid"]["total_points"] == manifest["status"]["ok"]
+        assert manifest["config"]["served"] > 0
+        metrics_payload = json.loads(metrics.read_text())
+        obs.validate_metrics(metrics_payload)
+        names = {c["name"] for c in metrics_payload["counters"]}
+        assert "serve.requests" in names
+
+    def test_serve_bench_sharded_and_deadline(self, capsys):
+        code = main(
+            ["serve-bench", "--qps", "300", "--duration", "0.5",
+             "--n", "2^16", "--k", "16", "--shards", "4",
+             "--deadline-ms", "100", "-q"]
+        )
+        assert code == 0
+        assert "served=" in capsys.readouterr().out
+
+
 class TestDriftCommand:
     def test_drift_reports_per_algorithm(self, tmp_path, capsys):
         csv = tmp_path / "s.csv"

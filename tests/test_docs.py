@@ -60,10 +60,10 @@ class TestExperimentsDoc:
 
 class TestReadme:
     def test_roster_matches_registry(self):
-        from repro import available_algorithms
+        from repro import algorithm_names
 
         text = read("README.md")
-        for algo in available_algorithms():
+        for algo in algorithm_names():
             if algo == "drtopk_hybrid":
                 continue  # extension, documented in docs/ALGORITHMS.md
             assert f"`{algo}`" in text, algo

@@ -14,11 +14,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import available_algorithms, check_topk, topk
+from repro import algorithm_names, check_topk, topk
 from repro.algos.queue_common import sentinel_for
 from repro.core.air_topk import AIRTopK
 
-ALGOS = available_algorithms()
+ALGOS = algorithm_names()
 
 
 def make_data(rng, dtype, n):

@@ -52,7 +52,7 @@ class TestMultiBlock:
 class TestQueueAblation:
     def test_thread_queue_variant_correct(self, rng):
         data = rng.standard_normal(1 << 15).astype(np.float32)
-        r = topk(data, 100, algo="grid_select", queue="thread")
+        r = topk(data, 100, algo="grid_select", params={"queue": "thread"})
         check_topk(data, r.values, r.indices)
 
     def test_shared_queue_faster_at_scale(self):

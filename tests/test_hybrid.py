@@ -18,7 +18,7 @@ class TestCorrectness:
     )
     def test_matches_oracle(self, base, rng):
         data = rng.standard_normal(50000).astype(np.float32)
-        r = topk(data, 100, algo="drtopk_hybrid", base=base)
+        r = topk(data, 100, algo="drtopk_hybrid", params={"base": base})
         check_topk(data, r.values, r.indices)
 
     @pytest.mark.parametrize("distribution", ["uniform", "normal", "adversarial"])
@@ -37,7 +37,7 @@ class TestCorrectness:
         the soundness case the delegate argument covers via ties."""
         data = rng.standard_normal(65536).astype(np.float32) + 100
         data[1000:1064] = -np.arange(64, dtype=np.float32)
-        r = topk(data, 64, algo="drtopk_hybrid", delegate_size=64)
+        r = topk(data, 64, algo="drtopk_hybrid", params={"delegate_size": 64})
         check_topk(data, r.values, r.indices)
         assert set(r.indices.tolist()) == set(range(1000, 1064))
 
@@ -46,7 +46,7 @@ class TestCorrectness:
         data = rng.standard_normal(65536).astype(np.float32) + 100
         positions = np.arange(0, 65536, 1024)[:32]
         data[positions] = -np.arange(32, dtype=np.float32)
-        r = topk(data, 32, algo="drtopk_hybrid", delegate_size=128)
+        r = topk(data, 32, algo="drtopk_hybrid", params={"delegate_size": 128})
         check_topk(data, r.values, r.indices)
         assert set(r.indices.tolist()) == set(positions.tolist())
 
@@ -58,7 +58,7 @@ class TestCorrectness:
     def test_partial_last_range(self, rng):
         """n not divisible by g: the padded tail must never be selected."""
         data = rng.standard_normal(10007).astype(np.float32)
-        r = topk(data, 30, algo="drtopk_hybrid", delegate_size=64)
+        r = topk(data, 30, algo="drtopk_hybrid", params={"delegate_size": 64})
         check_topk(data, r.values, r.indices)
 
     def test_batched(self, rng):
@@ -74,7 +74,7 @@ class TestCorrectness:
     def test_degenerate_delegate_size(self, rng):
         """g=1 falls back to the plain base algorithm."""
         data = rng.standard_normal(5000).astype(np.float32)
-        r = topk(data, 10, algo="drtopk_hybrid", delegate_size=1)
+        r = topk(data, 10, algo="drtopk_hybrid", params={"delegate_size": 1})
         check_topk(data, r.values, r.indices)
 
 
@@ -95,7 +95,7 @@ class TestStructure:
         N/g + k*g elements after the one cheap reduction pass."""
         n = 1 << 20
         data = rng.standard_normal(n).astype(np.float32)
-        hybrid = topk(data, 64, algo="drtopk_hybrid", base="sort")
+        hybrid = topk(data, 64, algo="drtopk_hybrid", params={"base": "sort"})
         plain = topk(data, 64, algo="sort")
         assert hybrid.device.counters.bytes_total < 0.5 * (
             plain.device.counters.bytes_total
@@ -113,7 +113,7 @@ class TestStructure:
     def test_inherits_base_k_cap(self):
         data = np.zeros(100000, dtype=np.float32)
         with pytest.raises(UnsupportedProblem):
-            topk(data, 4096, algo="drtopk_hybrid", base="grid_select")
+            topk(data, 4096, algo="drtopk_hybrid", params={"base": "grid_select"})
 
     def test_invalid_delegate_size(self):
         with pytest.raises(ValueError):
@@ -136,5 +136,5 @@ def test_hybrid_property(n, k_raw, g, seed):
     rng = np.random.default_rng(seed)
     k = 1 + (k_raw - 1) % n
     data = rng.standard_normal(n).astype(np.float32)
-    r = topk(data, k, algo="drtopk_hybrid", delegate_size=g)
+    r = topk(data, k, algo="drtopk_hybrid", params={"delegate_size": g})
     check_topk(data, r.values, r.indices)

@@ -7,10 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import available_algorithms, check_topk, topk
+from repro import algorithm_names, check_topk, topk
 from repro.verify import oracle_topk_values
 
-ALGOS = available_algorithms()
+ALGOS = algorithm_names()
 
 #: float32 values including duplicates, infinities and extremes
 finite_floats = st.floats(
@@ -107,7 +107,7 @@ def test_adaptive_traffic_bounded_vs_static(n, seed):
     data = rng.standard_normal(n).astype(np.float32)
     k = max(1, n // 10)
     adaptive = topk(data, k, algo="air_topk")
-    static = topk(data, k, algo="air_topk", adaptive=False)
+    static = topk(data, k, algo="air_topk", params={"adaptive": False})
     slack = 2 * 4.0 * n  # at most two declined-buffer input re-reads
     assert (
         adaptive.device.counters.bytes_total
@@ -128,7 +128,7 @@ def test_adaptive_strictly_wins_on_adversarial(n, seed):
     data = adversarial(n, seed=seed, m=20)[0]
     k = max(1, n // 100)
     on = topk(data, k, algo="air_topk")
-    off = topk(data, k, algo="air_topk", adaptive=False)
+    off = topk(data, k, algo="air_topk", params={"adaptive": False})
     assert on.device.counters.bytes_total < off.device.counters.bytes_total
     assert on.time <= off.time
 

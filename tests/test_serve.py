@@ -1,0 +1,471 @@
+"""The serving subsystem: merge identity, batching, caching, backpressure.
+
+Pins the PR's acceptance criteria: sharded selection is byte-identical
+to single-shot ``topk()`` across dtypes and both directions, and the
+micro-batched service reaches >= 3x sequential capacity at batch
+occupancy >= 8 under the default 200-QPS load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import check_topk, topk
+from repro.bench.report import percentile, percentiles, status_counts
+from repro.serve import (
+    GroupKey,
+    LoadSpec,
+    LRUCache,
+    MicroBatcher,
+    Request,
+    ServeCache,
+    ServeConfig,
+    TopKService,
+    build_requests,
+    fingerprint,
+    hierarchical_merge,
+    merge_pair,
+    poisson_arrivals,
+    run_serve_bench,
+    shard_bounds,
+    sharded_topk,
+    uniform_arrivals,
+)
+
+ALL_DTYPES = (
+    "float16",
+    "float32",
+    "float64",
+    "int16",
+    "int32",
+    "int64",
+    "uint16",
+    "uint32",
+    "uint64",
+)
+
+
+def unique_data(n: int, dtype: str, seed: int = 7) -> np.ndarray:
+    """A shuffled 0..n-1 ramp: every value unique and exactly representable."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(np.arange(n)).astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# sharding + merge
+# --------------------------------------------------------------------------- #
+class TestShardBounds:
+    def test_partition(self):
+        bounds = shard_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+
+    @pytest.mark.parametrize("n,shards", [(1, 1), (7, 7), (100, 3), (64, 8)])
+    def test_covers_everything(self, n, shards):
+        bounds = shard_bounds(n, shards)
+        covered = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert covered == list(range(n))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(4, 5)
+
+
+class TestMerge:
+    def test_merge_pair_keeps_best(self):
+        a = (np.array([[1.0, 3.0]]), np.array([[0, 2]]))
+        b = (np.array([[2.0, 4.0]]), np.array([[5, 7]]))
+        values, indices = merge_pair(a, b, 3, largest=False)
+        assert values.tolist() == [[1.0, 2.0, 3.0]]
+        assert indices.tolist() == [[0, 5, 2]]
+
+    def test_ties_break_by_index(self):
+        a = (np.array([[5.0]]), np.array([[9]]))
+        b = (np.array([[5.0]]), np.array([[2]]))
+        _, indices = merge_pair(a, b, 2, largest=True)
+        assert indices.tolist() == [[2, 9]]
+
+    def test_levels_is_tree_depth(self):
+        partials = [
+            (np.array([[float(i)]]), np.array([[i]])) for i in range(5)
+        ]
+        values, indices, levels = hierarchical_merge(partials, 3)
+        assert levels == 3  # ceil(log2 5)
+        assert values.tolist() == [[0.0, 1.0, 2.0]]
+        assert indices.tolist() == [[0, 1, 2]]
+
+
+class TestShardedIdentity:
+    """Acceptance pin: sharded == single-shot, byte for byte."""
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("largest", [False, True])
+    def test_byte_identical_across_dtypes(self, dtype, largest):
+        data = unique_data(1024, dtype)
+        single = topk(data, 33, algo="air_topk", largest=largest)
+        shard = sharded_topk(
+            data, 33, shards=4, algo="air_topk", largest=largest
+        )
+        assert single.values.dtype == shard.values.dtype
+        assert np.array_equal(single.values, shard.values)
+        assert np.array_equal(single.indices, shard.indices)
+
+    @pytest.mark.parametrize("shards", [2, 4, 7, 16])
+    def test_shard_counts(self, shards, rng):
+        data = rng.permutation(np.arange(1 << 12)).astype(np.float32)
+        single = topk(data, 100, algo="air_topk")
+        shard = sharded_topk(data, 100, shards=shards, algo="air_topk")
+        assert np.array_equal(single.values, shard.values)
+        assert np.array_equal(single.indices, shard.indices)
+        assert shard.algo == f"sharded(air_topkx{shards})"
+
+    def test_batched_rows_and_auto(self, rng):
+        data = rng.permutation(np.arange(4 * 2048)).reshape(4, 2048)
+        data = data.astype(np.float32)
+        single = topk(data, 16, algo="air_topk")
+        shard = sharded_topk(data, 16, shards=4, algo="air_topk")
+        assert np.array_equal(single.values, shard.values)
+        assert np.array_equal(single.indices, shard.indices)
+
+    def test_k_larger_than_smallest_shard(self, rng):
+        # 10 shards of ~12 elements but k=50: per-shard k is clamped
+        data = rng.permutation(np.arange(123)).astype(np.float32)
+        single = topk(data, 50, algo="sort")
+        shard = sharded_topk(data, 50, shards=10, algo="sort")
+        assert np.array_equal(single.values, shard.values)
+        assert np.array_equal(single.indices, shard.indices)
+
+    def test_coordinator_charges_merge(self, rng):
+        data = rng.permutation(np.arange(1 << 12)).astype(np.float32)
+        shard = sharded_topk(data, 64, shards=4, algo="air_topk")
+        names = [
+            e.name for e in shard.device.timeline.stream_events("gpu")
+        ]
+        assert names == ["shard_merge_l0", "shard_merge_l1"]
+
+    @given(
+        shards=st.integers(min_value=1, max_value=9),
+        k=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**16),
+        largest=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_shards(self, shards, k, seed, largest):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(512).astype(np.float32)  # ties possible
+        single = topk(data, k, algo="sort", largest=largest)
+        shard = sharded_topk(
+            data, k, shards=shards, algo="sort", largest=largest
+        )
+        # values (best-first) are multiset-unique -> always identical;
+        # indices may legally differ under ties, so verify them instead
+        assert np.array_equal(single.values, shard.values)
+        check_topk(data, shard.values, shard.indices, largest=largest)
+
+
+# --------------------------------------------------------------------------- #
+# batched result invariants (satellite d)
+# --------------------------------------------------------------------------- #
+class TestBatchedResultInvariants:
+    def test_batch_slicing_matches_single_rows(self, rng):
+        data = rng.standard_normal((6, 2048)).astype(np.float32)
+        batched = topk(data, 32, algo="air_topk")
+        assert batched.values.shape == batched.indices.shape == (6, 32)
+        for row in range(6):
+            single = topk(data[row], 32, algo="air_topk")
+            assert np.array_equal(batched.values[row], single.values)
+            assert np.array_equal(batched.indices[row], single.indices)
+
+    def test_indices_round_trip(self, rng):
+        data = rng.standard_normal((3, 4096)).astype(np.float32)
+        r = sharded_topk(data, 64, shards=4, algo="air_topk")
+        assert r.indices.min() >= 0 and r.indices.max() < 4096
+        gathered = np.take_along_axis(data, r.indices, axis=1)
+        assert np.array_equal(gathered, r.values)
+
+    def test_batch_1_equals_squeeze(self, rng):
+        flat = rng.standard_normal(2048).astype(np.float32)
+        one = topk(flat, 8, algo="sort")
+        batched = topk(flat[None, :], 8, algo="sort")
+        assert one.values.shape == (8,)
+        assert np.array_equal(batched.values[0], one.values)
+        assert np.array_equal(batched.indices[0], one.indices)
+
+
+# --------------------------------------------------------------------------- #
+# batcher
+# --------------------------------------------------------------------------- #
+def make_request(rid, arrival_s, *, n=64, k=4, largest=False, deadline_s=None):
+    data = np.arange(n, dtype=np.float32) + rid
+    return Request(
+        rid=rid,
+        data=data,
+        k=k,
+        largest=largest,
+        arrival_s=arrival_s,
+        deadline_s=deadline_s,
+    )
+
+
+class TestMicroBatcher:
+    def test_groups_by_shape(self):
+        b = MicroBatcher(max_batch=8, max_delay_s=1.0)
+        b.add(make_request(0, 0.0))
+        b.add(make_request(1, 0.0, k=5))
+        b.add(make_request(2, 0.0))
+        assert b.pending == 3
+        assert len(b.groups()) == 2
+
+    def test_size_trigger(self):
+        b = MicroBatcher(max_batch=3, max_delay_s=1.0)
+        for i in range(2):
+            b.add(make_request(i, 0.0))
+        assert b.size_ready() is None
+        b.add(make_request(2, 0.1))
+        key = b.size_ready()
+        assert key == GroupKey(n=64, k=4, dtype="float32", largest=False)
+        popped = b.pop(key)
+        assert [r.rid for r in popped] == [0, 1, 2]
+        assert b.pending == 0
+
+    def test_delay_trigger(self):
+        b = MicroBatcher(max_batch=100, max_delay_s=0.05)
+        b.add(make_request(0, 1.0))
+        b.add(make_request(1, 1.02))
+        deadline, key = b.next_flush_time()
+        assert deadline == pytest.approx(1.05)
+        assert b.due(1.04) is None
+        assert b.due(1.05) == key
+
+    def test_pop_caps_at_max_batch(self):
+        b = MicroBatcher(max_batch=2, max_delay_s=1.0)
+        for i in range(5):
+            b.add(make_request(i, float(i)))
+        popped = b.pop(b.size_ready())
+        assert [r.rid for r in popped] == [0, 1]
+        assert b.pending == 3
+
+
+# --------------------------------------------------------------------------- #
+# caches
+# --------------------------------------------------------------------------- #
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b, the stalest
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_fingerprint_distinguishes(self, rng):
+        a = rng.standard_normal(128).astype(np.float32)
+        b = a.copy()
+        b[7] += 1.0
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) != fingerprint(a.astype(np.float64))
+
+    def test_serve_cache_result_round_trip(self, rng):
+        cache = ServeCache()
+        data = rng.standard_normal(256).astype(np.float32)
+        assert cache.get_result(data, 4, False) is None
+        cache.put_result(data, 4, False, np.zeros(4), np.arange(4))
+        values, indices = cache.get_result(data, 4, False)
+        assert np.array_equal(indices, np.arange(4))
+        # k and direction are part of the key
+        assert cache.get_result(data, 5, False) is None
+        assert cache.get_result(data, 4, True) is None
+
+    def test_plan_cache_buckets_batch(self):
+        from repro.device import A100
+
+        cache = ServeCache()
+        plan1, hit1 = cache.make_plan(
+            n=1 << 14, k=32, batch=9, spec=A100, largest=False
+        )
+        plan2, hit2 = cache.make_plan(
+            n=1 << 14, k=32, batch=12, spec=A100, largest=False
+        )
+        assert not hit1 and hit2  # 9 and 12 share the 16 bucket
+        assert plan1.algo == plan2.algo
+        assert plan1.ranking and plan1.predicted_time is not None
+
+
+# --------------------------------------------------------------------------- #
+# the service: outcomes, backpressure, SLOs
+# --------------------------------------------------------------------------- #
+SMALL = dict(algo="sort", max_batch=4, max_delay_s=0.01, result_cache=0)
+
+
+class TestTopKService:
+    def test_serves_everything_and_is_correct(self):
+        service = TopKService(ServeConfig(**SMALL))
+        requests = [make_request(i, i * 0.001, n=256, k=3) for i in range(10)]
+        stats = service.run(requests)
+        assert stats.served == 10 and stats.shed == 0 and stats.timeout == 0
+        assert stats.batches >= 3  # 10 requests, max_batch 4
+        for outcome in service.outcomes:
+            req = requests[outcome.rid]
+            check_topk(req.data, outcome.values, outcome.indices)
+            assert outcome.latency_s >= 0
+            assert outcome.finish_s >= req.arrival_s
+
+    def test_sheds_over_queue_limit(self):
+        config = ServeConfig(algo="sort", max_batch=100, max_delay_s=1.0,
+                             queue_limit=3, result_cache=0)
+        service = TopKService(config)
+        stats = service.run(
+            [make_request(i, 0.0, n=128) for i in range(8)]
+        )
+        assert stats.shed == 5 and stats.served == 3
+        shed = [o for o in service.outcomes if o.status == "shed"]
+        assert all(o.latency_s is None and o.values is None for o in shed)
+
+    def test_deadline_timeout_while_queued(self):
+        # one slow huge batch occupies the device; the late request's
+        # deadline expires before its own batch can start
+        config = ServeConfig(algo="sort", max_batch=64, max_delay_s=0.0,
+                             result_cache=0)
+        service = TopKService(config)
+        blocker = make_request(0, 0.0, n=1 << 14, k=8)
+        late = make_request(1, 1e-9, n=256, k=4, deadline_s=2e-9)
+        stats = service.run([blocker, late])
+        assert stats.served == 1 and stats.timeout == 1
+        assert service.outcomes[-1].rid == 1
+
+    def test_default_deadline_applied(self):
+        # a 1ps SLO no batch can meet: every request times out
+        config = ServeConfig(algo="sort", max_batch=64, max_delay_s=0.0,
+                             default_deadline_s=1e-12, result_cache=0)
+        service = TopKService(config)
+        stats = service.run([
+            make_request(0, 0.0, n=1 << 14, k=8),
+            make_request(1, 1e-9, n=256, k=4),
+        ])
+        assert stats.timeout == 2 and stats.served == 0
+
+    def test_result_cache_serves_repeats_instantly(self):
+        service = TopKService(ServeConfig(algo="sort", max_batch=1,
+                                          max_delay_s=0.0))
+        base = make_request(0, 0.0, n=256)
+        repeat = Request(rid=1, data=base.data, k=base.k, largest=False,
+                         arrival_s=0.5)
+        stats = service.run([base, repeat])
+        assert stats.served == 2
+        hit = service.outcomes[-1]
+        assert hit.cache_hit and hit.latency_s == 0.0 and hit.algo == "cache"
+        miss = service.outcomes[0]
+        assert np.array_equal(hit.values, miss.values)
+        assert stats.cache["result_hits"] == 1
+
+    def test_sharded_service_matches_plain(self, rng):
+        n = 1 << 16
+        data = rng.standard_normal(n).astype(np.float32)
+        request = Request(rid=0, data=data, k=16, largest=True, arrival_s=0.0)
+        plain = TopKService(ServeConfig(algo="air_topk", max_delay_s=0.0,
+                                        result_cache=0))
+        plain.run([Request(rid=0, data=data, k=16, largest=True,
+                           arrival_s=0.0)])
+        shard = TopKService(ServeConfig(algo="air_topk", max_delay_s=0.0,
+                                        result_cache=0, shards=4))
+        shard.run([request])
+        a, b = plain.outcomes[0], shard.outcomes[0]
+        assert b.algo == "sharded(air_topkx4)"
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_metrics_emitted(self):
+        from repro.obs import metrics_session
+
+        with metrics_session() as registry:
+            service = TopKService(ServeConfig(**SMALL))
+            service.run([make_request(i, i * 0.001, n=256) for i in range(6)])
+        payload = registry.to_payload()
+        names = {c["name"] for c in payload["counters"]}
+        assert "serve.requests" in names
+        hist_names = {h["name"] for h in payload["histograms"]}
+        assert {"serve.latency", "serve.batch_occupancy"} <= hist_names
+        gauges = {g["name"] for g in payload["gauges"]}
+        assert "serve.queue_depth" in gauges
+
+
+# --------------------------------------------------------------------------- #
+# load generator + acceptance pin
+# --------------------------------------------------------------------------- #
+class TestLoadGen:
+    def test_poisson_rate_and_determinism(self):
+        a = poisson_arrivals(500.0, 4.0, seed=3)
+        b = poisson_arrivals(500.0, 4.0, seed=3)
+        assert np.array_equal(a, b)
+        assert 0.7 * 2000 < len(a) < 1.3 * 2000
+        assert np.all(np.diff(a) >= 0) and a[-1] < 4.0
+
+    def test_uniform_arrivals(self):
+        arrivals = uniform_arrivals(100.0, 1.0)
+        assert len(arrivals) == 100
+        assert np.allclose(np.diff(arrivals), 0.01)
+
+    def test_build_requests_pool(self):
+        spec = LoadSpec(qps=100, duration_s=0.5, n=512, k=4, payload_pool=3)
+        requests = build_requests(spec)
+        assert all(r.n == 512 for r in requests)
+        distinct = {fingerprint(r.data) for r in requests}
+        assert len(distinct) <= 3
+
+    def test_acceptance_occupancy_and_speedup(self):
+        """PR acceptance: >= 3x sequential capacity at occupancy >= 8."""
+        report, _ = run_serve_bench(
+            LoadSpec(qps=200, duration_s=2.0), ServeConfig()
+        )
+        assert report.stats.shed == 0 and report.stats.timeout == 0
+        assert report.stats.mean_occupancy >= 8
+        assert report.speedup >= 3.0
+        assert set(report.latency) == {50.0, 95.0, 99.0}
+        assert report.latency[50.0] <= report.latency[95.0] <= report.latency[99.0]
+        text = report.format()
+        for needle in ("p50", "p95", "p99", "served", "shed", "timeout"):
+            assert needle in text
+
+
+# --------------------------------------------------------------------------- #
+# shared percentile helpers (satellite c)
+# --------------------------------------------------------------------------- #
+class TestReportHelpers:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == 2.5
+
+    def test_percentile_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_percentiles_default_quantiles(self):
+        out = percentiles(list(range(101)))
+        assert out == {50.0: 50.0, 95.0: 95.0, 99.0: 99.0}
+
+    def test_percentile_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_status_counts(self):
+        class P:
+            def __init__(self, status):
+                self.status = status
+
+        counts = status_counts([P("ok"), P("ok"), P("error")])
+        assert counts == {"error": 1, "ok": 2}

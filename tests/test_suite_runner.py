@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import available_algorithms, topk
+from repro import algorithm_names, topk
 from repro.bench import run_paper_suite
 from repro.cli import main
 
@@ -55,7 +55,7 @@ class TestPaperSuite:
 class TestInputPurity:
     """No algorithm may mutate caller data — a library-grade guarantee."""
 
-    @pytest.mark.parametrize("algo", available_algorithms())
+    @pytest.mark.parametrize("algo", algorithm_names())
     def test_input_unmodified(self, algo, rng):
         data = rng.standard_normal(3000).astype(np.float32)
         snapshot = data.copy()
@@ -79,7 +79,7 @@ class TestInputPurity:
 
 
 class TestRepeatability:
-    @pytest.mark.parametrize("algo", available_algorithms())
+    @pytest.mark.parametrize("algo", algorithm_names())
     def test_same_seed_same_everything(self, algo, rng):
         data = rng.standard_normal(4000).astype(np.float32)
         a = topk(data, 64, algo=algo, seed=3)

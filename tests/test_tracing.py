@@ -62,18 +62,23 @@ class TestChromeTrace:
 
 
 class TestSelectK:
+    """select_k() is a deprecated v1 shim; every call must warn."""
+
     def test_matches_topk(self, rng):
         data = rng.standard_normal((3, 2000)).astype(np.float32)
-        values, indices = select_k(data, 16)
+        with pytest.warns(DeprecationWarning):
+            values, indices = select_k(data, 16)
         assert np.array_equal(values, oracle_topk_values(data, 16))
         assert np.array_equal(np.take_along_axis(data, indices, axis=1), values)
 
     def test_select_min_false(self, rng):
         data = rng.standard_normal(1000).astype(np.float32)
-        values, _ = select_k(data, 4, select_min=False)
+        with pytest.warns(DeprecationWarning):
+            values, _ = select_k(data, 4, select_min=False)
         assert np.array_equal(values, oracle_topk_values(data, 4, largest=True))
 
     def test_algo_and_kwargs_forwarded(self, rng):
         data = rng.standard_normal(5000).astype(np.float32)
-        values, _ = select_k(data, 8, algo="grid_select", seed=5)
+        with pytest.warns(DeprecationWarning):
+            values, _ = select_k(data, 8, algo="grid_select", seed=5)
         assert np.array_equal(values, oracle_topk_values(data, 8))
