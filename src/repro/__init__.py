@@ -18,7 +18,9 @@ Quick start::
     result.time                             # simulated seconds
 
 For serving many concurrent queries (micro-batching, sharding, caching,
-backpressure) see :mod:`repro.serve`.
+backpressure) see :mod:`repro.serve`; for deterministic fault injection
+and the recovery policies the serving layer is hardened with, see
+:mod:`repro.faults` and docs/faults.md.
 """
 
 from __future__ import annotations

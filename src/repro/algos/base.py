@@ -11,7 +11,7 @@ in after transcoding.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -60,6 +60,15 @@ class TopKResult:
     algo: str
     #: the simulated machine, carrying timeline, counters and kernel stats
     device: Device
+    #: True when part of the input was irrecoverably lost (a failed shard)
+    #: and the result is the exact top-k of the *surviving* data only —
+    #: see docs/faults.md for the degraded-result contract
+    degraded: bool = False
+    #: the high-probability recall floor a degraded result guarantees
+    #: against the full-data ground truth; None for full-fidelity results
+    recall_bound: float | None = None
+    #: recovery bookkeeping (shards_lost, coverage, retries, hedges, ...)
+    meta: dict = field(default_factory=dict)
 
     @property
     def time(self) -> float:

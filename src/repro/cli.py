@@ -290,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="JSON fault plan (repro.faults.plan/v1) to inject: shard "
+        "failures, stragglers, worker crashes, cache corruption, timeouts "
+        "— the run reports availability and degraded/failed tallies "
+        "(see docs/faults.md; benchmarks/fault_plans/ has a reference plan)",
+    )
+    p_serve.add_argument(
         "--out",
         default=None,
         help="directory for the run manifest (one BenchPoint per micro-batch)",
@@ -722,8 +731,10 @@ def cmd_reproduce(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
+    from .faults import FaultPlan
     from .serve import LoadSpec, ServeConfig, run_serve_bench
 
+    plan = FaultPlan.load(args.faults) if args.faults else None
     spec = LoadSpec(
         qps=args.qps,
         duration_s=args.duration,
@@ -744,6 +755,7 @@ def cmd_serve_bench(args) -> int:
         queue_limit=args.queue_limit,
         shards=args.shards,
         seed=args.seed,
+        faults=plan,
     )
     started = time.perf_counter()
     with _telemetry_session(args):
@@ -790,6 +802,21 @@ def cmd_serve_bench(args) -> int:
                 "served": report.stats.served,
                 "shed": report.stats.shed,
                 "timeout": report.stats.timeout,
+                # availability accounting appears only for fault runs so
+                # fault-free manifests keep their PR-3 shape
+                **(
+                    {
+                        "faults_plan": Path(args.faults).name,
+                        "degraded": report.stats.degraded,
+                        "failed": report.stats.failed,
+                        "availability": report.stats.availability,
+                        "faults_injected": report.stats.faults,
+                        "retries": report.stats.retries,
+                        "hedges": report.stats.hedges,
+                    }
+                    if plan is not None
+                    else {}
+                ),
             },
             seed=args.seed,
             points=points,

@@ -84,6 +84,8 @@ def build_grid(
     seed_mode: str = "shared",
     trace: bool = False,
     metrics: bool = False,
+    faults=None,
+    backoff_s: float = 0.0,
 ) -> list[PointSpec | BenchPoint]:
     """Expand a sweep grid into ordered slots.
 
@@ -143,6 +145,8 @@ def build_grid(
                                 retries=retries,
                                 trace=trace,
                                 metrics=metrics,
+                                faults=faults,
+                                backoff_s=backoff_s,
                             )
                         )
     return slots
@@ -198,12 +202,19 @@ def parallel_sweep(
     chunk_size: int | None = None,
     seed_mode: str = "shared",
     progress: Callable[[ProgressEvent], None] | None = None,
+    faults=None,
+    backoff_s: float = 0.0,
 ) -> SweepResult:
     """Run a benchmark grid, sharded over ``workers`` processes.
 
     Returns the same :class:`SweepResult`, with points in the same order,
     as a serial sweep — parallelism is an execution detail, not a result
     change.  ``workers=1`` runs inline in the calling process (no pool).
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) opens the worker-side
+    injection seams — deterministic per grid index, so the same plan
+    yields the same rows at any worker count; ``backoff_s`` adds capped
+    exponential backoff between a point's retry attempts.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -226,6 +237,8 @@ def parallel_sweep(
         seed_mode=seed_mode,
         trace=traced,
         metrics=metered,
+        faults=faults,
+        backoff_s=backoff_s,
     )
     total = len(slots)
     started = time.perf_counter()

@@ -14,12 +14,15 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import signal
+import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..bench.runner import BenchPoint, run_point
 from ..device import GPUSpec
+from ..faults import FaultPlan, backoff_schedule
+from ..obs.metrics import get_metrics
 from ..obs.spans import SpanEvent, span
 
 #: how many times a crashing point is re-attempted before an error row
@@ -46,6 +49,14 @@ class PointSpec:
     #: tracer/registry installed; picklable under fork and spawn alike
     trace: bool = False
     metrics: bool = False
+    #: deterministic fault plan (repro.faults); None leaves every seam a
+    #: strict no-op.  Draws key on the grid index, never the process, so
+    #: workers=1 and workers=N inject identically (tests/test_exec_engine)
+    faults: FaultPlan | None = None
+    #: capped-exponential backoff before each retry, wall-clock seconds;
+    #: 0 (the default) retries immediately, as the seed engine did
+    backoff_s: float = 0.0
+    backoff_cap_s: float = 0.05
 
 
 def point_seed(base_seed: int, *, distribution: str, n: int, k: int, batch: int) -> int:
@@ -99,14 +110,52 @@ def _failure_point(spec: PointSpec, status: str, detail: str) -> BenchPoint:
     )
 
 
+def _count_fault(spec: PointSpec, kind: str) -> None:
+    """Export one injected fault as an ``exec.faults`` counter sample."""
+    if not spec.metrics:
+        return
+    registry = get_metrics()
+    if registry is not None:
+        registry.counter("exec.faults", kind=kind).inc()
+
+
 def execute_point(spec: PointSpec) -> BenchPoint:
-    """Run one point; failures become recorded rows, never exceptions."""
+    """Run one point; failures become recorded rows, never exceptions.
+
+    With a fault plan attached, two seams open up (both keyed on the
+    grid index, so injection is identical however the grid is sharded):
+    an injected ``timeout`` records the point as a timeout row exactly
+    like a real wall-clock overrun, and an injected ``worker_crash``
+    consumes one retry attempt exactly like a real exception — past the
+    retry budget the point becomes an ``error`` row, never a raise.
+    """
     attempts = 1 + max(0, spec.retries)
     last_error = ""
+    injector = spec.faults.injector() if spec.faults is not None else None
+    backoffs = backoff_schedule(
+        attempts, base_s=spec.backoff_s, cap_s=spec.backoff_cap_s
+    )
     with span(
         f"execute {spec.algo}", cat="exec", index=spec.index, algo=spec.algo
     ) as exec_span:
+        if injector is not None and injector.decide(
+            "timeout", "exec.point", f"index={spec.index}"
+        ):
+            _count_fault(spec, "timeout")
+            exec_span.set(status="timeout")
+            return _failure_point(spec, "timeout", "injected wall-clock overrun")
         for attempt in range(attempts):
+            if attempt and backoffs[attempt - 1] > 0:
+                time.sleep(backoffs[attempt - 1])
+            if injector is not None and injector.decide(
+                "worker_crash",
+                "exec.point",
+                f"index={spec.index}",
+                f"attempt={attempt}",
+            ):
+                _count_fault(spec, "worker_crash")
+                last_error = "injected worker crash"
+                continue
             try:
                 with _alarm(spec.timeout), span(
                     "attempt", cat="exec", attempt=attempt + 1

@@ -15,8 +15,13 @@ that
   (data fingerprint, n, k, distribution hints) so the ``auto``
   dispatcher's ranking is reused across requests (:mod:`.cache`);
 * applies **backpressure** — bounded queues, per-request deadlines and
-  load shedding — reporting served / shed / timeout outcomes with full
-  ``serve.*`` telemetry (:mod:`.service`);
+  load shedding — reporting served / degraded / shed / timeout / failed
+  outcomes with full ``serve.*`` telemetry (:mod:`.service`);
+* **survives faults** — deterministic injected chaos
+  (:mod:`repro.faults`, docs/faults.md) is absorbed by per-shard
+  retries, hedged duplicates, a result-cache circuit breaker and
+  degraded-mode merges with recall bounds (:mod:`.sharder`,
+  :mod:`.service`);
 * ships a **closed-loop load generator** and latency report for
   ``repro-topk serve-bench`` (:mod:`.loadgen`).
 
@@ -39,12 +44,14 @@ from .loadgen import (
     uniform_arrivals,
 )
 from .merge import hierarchical_merge, merge_pair
-from .request import Outcome, Request
+from .request import OUTCOMES, Outcome, Request
 from .service import BatchRecord, ServeConfig, ServeStats, TopKService
-from .sharder import shard_bounds, sharded_topk
+from .sharder import AllShardsLost, shard_bounds, sharded_topk
 
 __all__ = [
+    "AllShardsLost",
     "BatchRecord",
+    "OUTCOMES",
     "DispatchPlan",
     "GroupKey",
     "LRUCache",

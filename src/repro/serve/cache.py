@@ -102,6 +102,9 @@ class ServeCache:
     def __init__(self, *, result_capacity: int = 256, plan_capacity: int = 64):
         self.results = LRUCache(result_capacity)
         self.plans = LRUCache(plan_capacity)
+        #: entries that failed their integrity checksum on read (each one
+        #: was evicted and re-fetched — see :meth:`get_result`)
+        self.corruptions = 0
 
     # -- dispatch plans ------------------------------------------------- #
     def plan_key(
@@ -150,8 +153,32 @@ class ServeCache:
     def result_key(self, data: np.ndarray, k: int, largest: bool) -> tuple:
         return (fingerprint(data), int(data.shape[-1]), int(k), bool(largest))
 
+    @staticmethod
+    def _checksum(values: np.ndarray, indices: np.ndarray) -> str:
+        digest = hashlib.blake2b(digest_size=8)
+        digest.update(np.ascontiguousarray(values).tobytes())
+        digest.update(np.ascontiguousarray(indices).tobytes())
+        return digest.hexdigest()
+
     def get_result(self, data: np.ndarray, k: int, largest: bool):
-        return self.results.get(self.result_key(data, k, largest))
+        """The cached ``(values, indices)``, or None on miss *or* when the
+        stored entry fails its integrity checksum.
+
+        A corrupt entry (bit-rot, or an injected ``cache_corruption``
+        fault — see :meth:`corrupt_result`) is counted, evicted (the
+        *repair* half of the circuit-breaker policy) and reported as a
+        miss, never served.
+        """
+        key = self.result_key(data, k, largest)
+        entry = self.results.get(key)
+        if entry is None:
+            return None
+        values, indices, checksum = entry
+        if self._checksum(values, indices) != checksum:
+            self.corruptions += 1
+            self.results._data.pop(key, None)  # repair: drop the bad entry
+            return None
+        return values, indices
 
     def put_result(
         self,
@@ -161,16 +188,35 @@ class ServeCache:
         values: np.ndarray,
         indices: np.ndarray,
     ) -> None:
+        values = np.array(values, copy=True)
+        indices = np.array(indices, copy=True)
         self.results.put(
             self.result_key(data, k, largest),
-            (np.array(values, copy=True), np.array(indices, copy=True)),
+            (values, indices, self._checksum(values, indices)),
         )
+
+    def corrupt_result(self, data: np.ndarray, k: int, largest: bool) -> bool:
+        """Flip one byte of the cached values for this key (the
+        ``cache_corruption`` fault seam); returns True when an entry was
+        there to corrupt.  The stored checksum is left intact, so the
+        next :meth:`get_result` detects and repairs the damage."""
+        key = self.result_key(data, k, largest)
+        entry = self.results._data.get(key)
+        if entry is None:
+            return False
+        values, indices, checksum = entry
+        corrupted = np.array(values, copy=True)
+        raw = corrupted.view(np.uint8).reshape(-1)
+        raw[0] ^= 0xFF
+        self.results._data[key] = (corrupted, indices, checksum)
+        return True
 
     def stats(self) -> dict[str, int]:
         return {
             "result_hits": self.results.hits,
             "result_misses": self.results.misses,
             "result_evictions": self.results.evictions,
+            "result_corruptions": self.corruptions,
             "plan_hits": self.plans.hits,
             "plan_misses": self.plans.misses,
             "plan_evictions": self.plans.evictions,

@@ -186,11 +186,13 @@ class ServeBenchReport:
 
     def lines(self) -> list[str]:
         s = self.stats
+        counts = f"served={s.served} shed={s.shed} timeout={s.timeout}"
+        if s.degraded or s.failed:
+            counts += f" degraded={s.degraded} failed={s.failed}"
         out = [
             f"serve-bench: {self.spec.qps:g} qps x {self.spec.duration_s:g}s "
             f"(n={self.spec.n}, k={self.spec.k}, {self.spec.arrival} arrivals)",
-            f"  requests: {s.total}  served={s.served} shed={s.shed} "
-            f"timeout={s.timeout}",
+            f"  requests: {s.total}  {counts}",
             f"  batches: {s.batches}  mean occupancy={s.mean_occupancy:.1f}",
         ]
         if self.latency:
@@ -211,6 +213,23 @@ class ServeBenchReport:
                 f"{s.cache.get('result_misses', 0)} miss, "
                 f"plan {s.cache.get('plan_hits', 0)} hit / "
                 f"{s.cache.get('plan_misses', 0)} miss"
+            )
+        # the availability report only appears once faults actually fired
+        # or degraded/failed traffic exists, so a run with no fault plan
+        # (or an empty one) prints byte-identically to a fault-free build
+        if s.faults or s.degraded or s.failed or s.retries or s.hedges:
+            fired = (
+                " ".join(f"{kind}={count}" for kind, count in sorted(s.faults.items()))
+                or "none"
+            )
+            out.append(
+                f"  faults: {fired}  retries={s.retries} hedges={s.hedges} "
+                f"breaker_trips={s.breaker_trips}"
+            )
+            out.append(
+                f"  availability: {s.availability * 100:.2f}%  "
+                f"(answered {s.answered}/{s.total}: {s.served} full + "
+                f"{s.degraded} degraded)"
             )
         return out
 

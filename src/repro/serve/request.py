@@ -2,7 +2,9 @@
 
 A :class:`Request` is one caller's top-k query with its virtual-time
 arrival and deadline; an :class:`Outcome` is what the service reports
-back — served with results and latency, shed at admission, or timed out.
+back — served with results and latency (full-fidelity or *degraded*, see
+docs/faults.md), shed at admission, timed out, or failed after the
+execution retries were exhausted.
 """
 
 from __future__ import annotations
@@ -11,8 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-#: every status an Outcome can carry
-OUTCOMES = ("served", "shed", "timeout")
+#: every status an Outcome can carry.  "served" is full fidelity;
+#: "degraded" carries results that satisfy only the reported
+#: ``recall_bound`` (a shard was irrecoverably lost); "failed" means
+#: execution kept crashing past the retry budget — the terminal verdict
+#: the caller can retry against, never a silent drop.
+OUTCOMES = ("served", "degraded", "shed", "timeout", "failed")
 
 
 @dataclass
@@ -42,8 +48,10 @@ class Outcome:
     """The service's verdict on one request."""
 
     rid: int
-    #: "served", "shed" (rejected at admission, queue full) or "timeout"
-    #: (deadline passed while queued or before the batch completed)
+    #: one of :data:`OUTCOMES`: "served", "degraded" (lossy but bounded —
+    #: see ``recall_bound``), "shed" (rejected at admission, queue full),
+    #: "timeout" (deadline passed while queued or before the batch
+    #: completed) or "failed" (execution retries exhausted)
     status: str
     #: virtual completion time (served), or the time the verdict was made
     finish_s: float
@@ -55,9 +63,19 @@ class Outcome:
     algo: str = ""
     #: whether the result came from the LRU result cache
     cache_hit: bool = False
-    #: selected values/indices, best first (served only)
+    #: selected values/indices, best first (served/degraded only)
     values: np.ndarray | None = field(default=None, repr=False)
     indices: np.ndarray | None = field(default=None, repr=False)
+    #: high-probability recall floor of a degraded result (see
+    #: docs/faults.md); None for full-fidelity outcomes
+    recall_bound: float | None = None
+    #: why a failed outcome failed (exception text), empty otherwise
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the caller got results back (served or degraded)."""
+        return self.status in ("served", "degraded")
 
     def __post_init__(self) -> None:
         if self.status not in OUTCOMES:

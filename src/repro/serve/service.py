@@ -19,6 +19,16 @@ batched-selection time, and completes; per-request latency is
 batch can start are timed out without burning device time.  Everything
 is reported through ``serve.*`` metrics when a metrics session is
 active, and summarised in :class:`ServeStats`.
+
+Under faults (``ServeConfig.faults``, docs/faults.md) the loop degrades
+instead of breaking: a crashing batch is retried with capped exponential
+backoff and, past the retry budget, its requests are finished ``failed``
+— never silently dropped; a sharded batch that loses a shard
+irrecoverably comes back ``degraded`` with a recall bound; a corrupted
+result-cache entry is detected by checksum, repaired, and — after
+repeated corruption — the cache is bypassed behind a circuit breaker
+until a cooldown passes.  Every request always gets exactly one terminal
+outcome (pinned by tests/test_faults.py).
 """
 
 from __future__ import annotations
@@ -28,11 +38,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api import resolve_device, topk
+from ..faults import CircuitBreaker, FaultPlan, HedgePolicy, RetryPolicy
 from ..obs import get_metrics
 from .batcher import GroupKey, MicroBatcher
 from .cache import ServeCache
 from .request import Outcome, Request
-from .sharder import sharded_topk
+from .sharder import AllShardsLost, sharded_topk
 
 #: histogram bounds for serve.latency (simulated seconds)
 _LATENCY_BOUNDS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
@@ -68,6 +79,25 @@ class ServeConfig:
     seed: int = 0
     #: algorithm tuning params forwarded to the registry
     params: dict | None = None
+    #: deterministic fault plan; None (and the empty plan) leaves every
+    #: fault seam a strict no-op (docs/faults.md)
+    faults: FaultPlan | None = None
+    #: how many times a crashing batch execution is re-attempted before
+    #: its requests are finished "failed"
+    batch_retries: int = 1
+    #: per-shard retry budget inside sharded execution
+    shard_retries: int = 2
+    #: capped-exponential backoff before retries, virtual seconds
+    retry_backoff_s: float = 1e-4
+    retry_backoff_cap_s: float = 1e-2
+    #: hedge a shard slower than `hedge_factor` x the `hedge_quantile` of
+    #: its siblings (no-op unless something is actually inflated)
+    hedge_quantile: float = 0.5
+    hedge_factor: float = 3.0
+    #: open the result-cache circuit breaker after this many corruption
+    #: detections, bypassing the cache for `breaker_cooldown_s`
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 0.25
 
 
 @dataclass
@@ -84,6 +114,10 @@ class BatchRecord:
     duration_s: float
     largest: bool
     plan_hit: bool = False
+    #: execution attempts this batch took (1 = first try succeeded)
+    attempts: int = 1
+    #: whether the batch came back degraded (a shard was lost)
+    degraded: bool = False
 
 
 @dataclass
@@ -91,8 +125,10 @@ class ServeStats:
     """Aggregate outcome of one :meth:`TopKService.run`."""
 
     served: int = 0
+    degraded: int = 0
     shed: int = 0
     timeout: int = 0
+    failed: int = 0
     batches: int = 0
     #: total simulated device-busy seconds across all batches
     busy_s: float = 0.0
@@ -103,10 +139,27 @@ class ServeStats:
     #: per-batch request counts
     occupancies: list = field(default_factory=list)
     cache: dict = field(default_factory=dict)
+    #: injected faults by kind (empty without a fault plan)
+    faults: dict = field(default_factory=dict)
+    #: recovery counters: batch/shard retries paid, hedges dispatched,
+    #: circuit-breaker trips
+    retries: int = 0
+    hedges: int = 0
+    breaker_trips: int = 0
 
     @property
     def total(self) -> int:
-        return self.served + self.shed + self.timeout
+        return self.served + self.degraded + self.shed + self.timeout + self.failed
+
+    @property
+    def answered(self) -> int:
+        """Requests that got results back (full fidelity or degraded)."""
+        return self.served + self.degraded
+
+    @property
+    def availability(self) -> float:
+        """Answered fraction of all requests — the serve-bench SLO."""
+        return self.answered / self.total if self.total else 1.0
 
     @property
     def mean_occupancy(self) -> float:
@@ -149,10 +202,29 @@ class TopKService:
             result_capacity=self.config.result_cache,
             plan_capacity=self.config.plan_cache,
         )
+        self.injector = (
+            self.config.faults.injector() if self.config.faults is not None else None
+        )
+        self.retry = RetryPolicy(
+            retries=self.config.shard_retries,
+            backoff_base_s=self.config.retry_backoff_s,
+            backoff_cap_s=self.config.retry_backoff_cap_s,
+        )
+        self.hedge = HedgePolicy(
+            quantile=self.config.hedge_quantile,
+            factor=self.config.hedge_factor,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
         self.outcomes: list[Outcome] = []
         self.batch_records: list[BatchRecord] = []
         self.stats = ServeStats()
         self._device_free_s = 0.0
+        #: monotone batch sequence — namespaces fault draws per batch, so
+        #: it must tick for failed batches too (they drew from the plan)
+        self._batch_seq = 0
 
     # -- metrics helpers ------------------------------------------------ #
     def _count(self, name: str, amount: float = 1.0, **labels) -> None:
@@ -182,6 +254,46 @@ class TopKService:
         return outcome
 
     # -- admission ------------------------------------------------------ #
+    def _cached_result(self, request: Request):
+        """Result-cache lookup through the corruption/breaker seams.
+
+        Returns the cached ``(values, indices)`` or None; detects
+        injected corruption by checksum, repairs (evicts) the entry, and
+        feeds the circuit breaker that bypasses the cache entirely while
+        open.
+        """
+        cfg = self.config
+        if cfg.result_cache <= 0:
+            return None
+        now_s = request.arrival_s
+        if not self.breaker.allow(now_s):
+            self._count("serve.breaker", event="bypass")
+            return None
+        if self.injector is not None and self.cache.result_key(
+            request.data, request.k, request.largest
+        ) in self.cache.results:
+            if self.injector.decide(
+                "cache_corruption", "serve.cache", f"rid={request.rid}"
+            ):
+                self.cache.corrupt_result(request.data, request.k, request.largest)
+        before = self.cache.corruptions
+        cached = self.cache.get_result(request.data, request.k, request.largest)
+        if self.cache.corruptions > before:
+            # checksum caught a corrupt entry: repaired (evicted) above,
+            # count it toward the breaker and report a miss
+            self._count("serve.cache", event="result_corrupt")
+            if self.breaker.record_failure(now_s):
+                self.stats.breaker_trips = self.breaker.trips
+                self._count("serve.breaker", event="open")
+            return None
+        self._count(
+            "serve.cache",
+            event="result_hit" if cached is not None else "result_miss",
+        )
+        if cached is not None:
+            self.breaker.record_success()
+        return cached
+
     def submit(self, request: Request) -> Outcome | None:
         """Admit one request at its virtual arrival time.
 
@@ -191,12 +303,7 @@ class TopKService:
         cfg = self.config
         if request.deadline_s is None and cfg.default_deadline_s is not None:
             request.deadline_s = request.arrival_s + cfg.default_deadline_s
-        cached = self.cache.get_result(request.data, request.k, request.largest)
-        if cfg.result_cache > 0:
-            self._count(
-                "serve.cache",
-                event="result_hit" if cached is not None else "result_miss",
-            )
+        cached = self._cached_result(request)
         if cached is not None:
             values, indices = cached
             return self._finish(
@@ -225,8 +332,84 @@ class TopKService:
         return None
 
     # -- execution ------------------------------------------------------ #
+    def _run_batch(self, data, key: GroupKey, algo: str, batch_id: int):
+        """One batch execution through the fault seams.
+
+        Returns ``(result, start_delay_s, attempts, error)``: on success
+        ``result`` is the TopKResult (possibly degraded) and ``error`` is
+        empty; past the retry budget ``result`` is None and ``error``
+        records the last failure.  ``start_delay_s`` is the virtual-time
+        backoff paid before the successful (or final) attempt.
+        """
+        cfg = self.config
+        attempts = 1 + max(0, cfg.batch_retries)
+        delay_s = 0.0
+        last_error = ""
+        for attempt in range(attempts):
+            if attempt:
+                delay_s += self.retry.backoff(attempt - 1)
+                self.stats.retries += 1
+                self._count("serve.retries", site="serve.batch")
+            if self.injector is not None and self.injector.decide(
+                "worker_crash",
+                "serve.batch",
+                f"batch={batch_id}",
+                f"attempt={attempt}",
+            ):
+                last_error = "injected worker crash"
+                continue
+            try:
+                if cfg.shards > 1 and key.n >= cfg.shard_min_n:
+                    result = sharded_topk(
+                        data,
+                        key.k,
+                        shards=cfg.shards,
+                        algo=algo,
+                        device=self.spec,
+                        largest=key.largest,
+                        seed=cfg.seed,
+                        params=cfg.params,
+                        injector=self.injector,
+                        retry=self.retry,
+                        hedge=self.hedge,
+                        fault_scope=f"batch={batch_id}/try={attempt}",
+                    )
+                else:
+                    result = topk(
+                        data,
+                        key.k,
+                        algo=algo,
+                        device=self.spec,
+                        largest=key.largest,
+                        seed=cfg.seed,
+                        params=cfg.params,
+                    )
+            except AllShardsLost as exc:
+                last_error = str(exc)
+                continue
+            except Exception as exc:  # noqa: BLE001 — becomes failed outcomes
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            shard_retries = result.meta.get("retries", 0)
+            if shard_retries:
+                self.stats.retries += shard_retries
+                self._count(
+                    "serve.retries", amount=shard_retries, site="serve.shard"
+                )
+            hedges = result.meta.get("hedges", 0)
+            if hedges:
+                self.stats.hedges += hedges
+                self._count("serve.hedges", amount=hedges)
+            return result, delay_s, attempt + 1, ""
+        return None, delay_s, attempts, last_error
+
     def _execute(self, key: GroupKey, trigger_s: float) -> None:
-        """Flush one group: drop expired requests, run the rest as a batch."""
+        """Flush one group: drop expired requests, run the rest as a batch.
+
+        A batch whose execution keeps crashing past ``batch_retries``
+        finishes every surviving request as ``failed`` — outcomes are
+        never silently dropped (the PR-4 regression pin).
+        """
         cfg = self.config
         batch = self.batcher.pop(key)
         start_s = max(trigger_s, self._device_free_s)
@@ -260,28 +443,32 @@ class TopKService:
             self._count(
                 "serve.cache", event="plan_hit" if plan_hit else "plan_miss"
             )
-        if cfg.shards > 1 and key.n >= cfg.shard_min_n:
-            result = sharded_topk(
-                data,
-                key.k,
-                shards=cfg.shards,
-                algo=algo,
-                device=self.spec,
-                largest=key.largest,
-                seed=cfg.seed,
-                params=cfg.params,
-            )
-        else:
-            result = topk(
-                data,
-                key.k,
-                algo=algo,
-                device=self.spec,
-                largest=key.largest,
-                seed=cfg.seed,
-                params=cfg.params,
-            )
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        result, delay_s, attempts, error = self._run_batch(
+            data, key, algo, batch_id
+        )
+        start_s += delay_s
+        if result is None:
+            # retries exhausted: fail every surviving request explicitly
+            for request in alive:
+                self._finish(
+                    Outcome(
+                        rid=request.rid,
+                        status="failed",
+                        finish_s=start_s,
+                        batch_size=len(alive),
+                        error=error,
+                    )
+                )
+            return
         duration_s = result.time
+        if self.injector is not None:
+            slow = self.injector.decide(
+                "timeout", "serve.batch", f"batch={batch_id}"
+            )
+            if slow is not None:
+                duration_s = duration_s * slow.factor
         finish_s = start_s + duration_s
         self._device_free_s = finish_s
         self.stats.batches += 1
@@ -300,6 +487,8 @@ class TopKService:
                 duration_s=duration_s,
                 largest=key.largest,
                 plan_hit=plan_hit,
+                attempts=attempts,
+                degraded=result.degraded,
             )
         )
         for row, request in enumerate(alive):
@@ -314,9 +503,27 @@ class TopKService:
                     )
                 )
                 continue
-            self.cache.put_result(
-                request.data, request.k, request.largest, values, indices
-            )
+            if result.degraded:
+                # a lossy result must neither be cached nor reported as
+                # full fidelity: flag it and attach its recall contract
+                self._finish(
+                    Outcome(
+                        rid=request.rid,
+                        status="degraded",
+                        finish_s=finish_s,
+                        latency_s=finish_s - request.arrival_s,
+                        batch_size=len(alive),
+                        algo=result.algo,
+                        values=values,
+                        indices=indices,
+                        recall_bound=result.recall_bound,
+                    )
+                )
+                continue
+            if self.breaker.allow(request.arrival_s):
+                self.cache.put_result(
+                    request.data, request.k, request.largest, values, indices
+                )
             self._finish(
                 Outcome(
                     rid=request.rid,
@@ -351,4 +558,8 @@ class TopKService:
                 deadline, key = flush
                 self._execute(key, deadline)
         self.stats.cache = self.cache.stats()
+        if self.injector is not None:
+            self.stats.faults = self.injector.fault_counts()
+            for kind, count in self.stats.faults.items():
+                self._count("serve.faults", amount=count, kind=kind)
         return self.stats

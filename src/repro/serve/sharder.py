@@ -9,6 +9,18 @@ multi-device critical path: shards execute concurrently, so its clock
 starts at the *slowest* shard and then pays one merge kernel per tree
 level plus the final synchronisation — the same accounting shape as the
 paper's multi-GPU scaling experiment (Fig. 12).
+
+Failure handling (docs/faults.md): with a
+:class:`~repro.faults.FaultInjector` installed, each shard attempt can
+fail (``shard_failure``) or come back slow (``straggler``).  Failed
+attempts are retried with capped exponential backoff
+(:class:`~repro.faults.RetryPolicy`); stragglers past a latency quantile
+of their siblings get a hedged duplicate
+(:class:`~repro.faults.HedgePolicy`) racing the original.  A shard that
+exhausts its retries is *lost*: the survivors are merged anyway and the
+result is returned ``degraded=True`` with the
+:func:`~repro.faults.recall_bound` contract attached.  With no injector
+every seam is a strict no-op.
 """
 
 from __future__ import annotations
@@ -19,10 +31,16 @@ from ..algos import TopKResult, get_algorithm
 from ..api import resolve_device
 from ..device import Device, streaming_grid
 from ..exec import fanout
+from ..faults import HedgePolicy, RetryPolicy, recall_bound
 from .merge import hierarchical_merge
 
 #: comparator-ish FLOPs charged per merged candidate per level
 _MERGE_OPS_PER_ELEM = 4.0
+
+
+class AllShardsLost(RuntimeError):
+    """Every shard of a selection failed irrecoverably; there is no
+    surviving data to degrade onto — the request must fail upstream."""
 
 
 def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
@@ -55,6 +73,10 @@ def sharded_topk(
     seed: int = 0,
     params: dict | None = None,
     workers: int = 1,
+    injector=None,
+    retry: RetryPolicy | None = None,
+    hedge: HedgePolicy | None = None,
+    fault_scope: str = "",
 ) -> TopKResult:
     """Top-k by per-shard selection + hierarchical merge.
 
@@ -65,8 +87,16 @@ def sharded_topk(
     devices.  ``workers`` > 1 additionally spreads the host-side numpy
     work over threads; it never changes the result.
 
+    ``injector`` enables the fault seams described in the module
+    docstring; ``fault_scope`` namespaces this call's injection decisions
+    (the service passes its batch id so two batches draw independently).
+    With faults a shard can be lost after ``retry.retries`` re-attempts,
+    in which case the merged result carries ``degraded=True`` and the
+    documented ``recall_bound``; :class:`AllShardsLost` is raised only
+    when *no* shard survives.
+
     Returns a :class:`TopKResult` whose ``device`` is the coordinator:
-    its elapsed time is ``max(shard times) + merge + sync``.
+    its elapsed time is ``max(effective shard times) + merge + sync``.
     """
     data = np.asarray(data)
     squeeze = data.ndim == 1
@@ -86,28 +116,98 @@ def sharded_topk(
             "preset name, not an existing Device"
         )
     bounds = shard_bounds(n, shards)
+    retry = retry or RetryPolicy()
+    hedge = hedge or HedgePolicy()
 
-    def run_shard(bound: tuple[int, int]):
-        start, end = bound
+    def run_shard(indexed_bound: tuple[int, tuple[int, int]]):
+        """One shard's selection, through the fault seams.
+
+        Returns ``(values, indices, effective_time, clean_time, retries)``
+        or ``None`` when the shard is lost (retries exhausted).
+        """
+        shard_id, (start, end) = indexed_bound
         shard_k = min(k, end - start)
         algorithm = get_algorithm(algo, params=params)
-        result = algorithm.select(
-            np.ascontiguousarray(data[:, start:end]),
-            shard_k,
-            spec=spec,
-            largest=largest,
-            seed=seed,
-        )
-        return result.values, result.indices + start, result.time
 
-    shard_runs = fanout(run_shard, bounds, workers=workers)
-    partials = [(values, indices) for values, indices, _ in shard_runs]
+        def attempt_once():
+            result = algorithm.select(
+                np.ascontiguousarray(data[:, start:end]),
+                shard_k,
+                spec=spec,
+                largest=largest,
+                seed=seed,
+            )
+            return result.values, result.indices + start, result.time
+
+        if injector is None:
+            values, indices, time = attempt_once()
+            return values, indices, time, time, 0
+
+        elapsed = 0.0
+        for attempt in range(retry.attempts):
+            values, indices, time = attempt_once()
+            failed = injector.decide(
+                "shard_failure",
+                "serve.shard",
+                fault_scope,
+                f"shard={shard_id}",
+                f"attempt={attempt}",
+            )
+            if failed is None:
+                clean = time
+                straggling = injector.decide(
+                    "straggler",
+                    "serve.shard",
+                    fault_scope,
+                    f"shard={shard_id}",
+                    f"attempt={attempt}",
+                )
+                if straggling is not None:
+                    time = time * straggling.factor
+                return values, indices, elapsed + time, clean, attempt
+            # the attempt crashed: charge its full runtime plus the
+            # capped-exponential backoff before the next try
+            elapsed += time
+            if attempt < retry.attempts - 1:
+                elapsed += retry.backoff(attempt)
+        return None  # lost: every attempt failed
+
+    shard_runs = fanout(run_shard, list(enumerate(bounds)), workers=workers)
+    survivors = [
+        (i, run) for i, run in enumerate(shard_runs) if run is not None
+    ]
+    if not survivors:
+        raise AllShardsLost(
+            f"all {shards} shards failed irrecoverably "
+            f"(retries={retry.retries}, scope={fault_scope!r})"
+        )
+    lost = [i for i, run in enumerate(shard_runs) if run is None]
+    retries_total = sum(run[4] for _, run in survivors)
+
+    # hedged duplicate dispatch: anything past the sibling-quantile
+    # threshold races a clean duplicate launched at the threshold.  With
+    # no inflation min(t, threshold + t) == t, so this is a no-op on a
+    # healthy run.
+    times = [run[2] for _, run in survivors]
+    hedges = 0
+    effective_times = []
+    threshold = hedge.threshold(times) if injector is not None else None
+    for _, run in survivors:
+        time, clean = run[2], run[3]
+        if threshold is not None and time > threshold:
+            hedged = min(time, threshold + clean)
+            if hedged < time:
+                hedges += 1
+                time = hedged
+        effective_times.append(time)
+
+    partials = [(run[0], run[1]) for _, run in survivors]
     values, indices, levels = hierarchical_merge(partials, k, largest=largest)
 
     # coordinator: shards ran concurrently, so the critical path starts at
     # the slowest shard, then pays the merge tree and the final sync
     coordinator = Device(spec)
-    slowest = max(time for _, _, time in shard_runs)
+    slowest = max(effective_times)
     coordinator.cpu_time = coordinator.gpu_time = slowest
     candidates = sum(p[0].shape[1] for p in partials) * data.shape[0]
     elem_bytes = 8.0 + data.dtype.itemsize  # key + index per candidate
@@ -124,12 +224,29 @@ def sharded_topk(
         )
     coordinator.synchronize("sync_result")
 
+    degraded = bool(lost)
+    bound = None
+    meta: dict = {}
+    if injector is not None:
+        meta = {"retries": retries_total, "hedges": hedges, "shards_lost": len(lost)}
+    if degraded:
+        n_lost = sum(bounds[i][1] - bounds[i][0] for i in lost)
+        coverage, bound = recall_bound(k, n, n_lost)
+        meta.update(coverage=coverage, lost_shards=lost, n_lost=n_lost)
+
     if squeeze:
         values = values[0]
         indices = indices[0]
+    k_got = values.shape[-1]
+    label = f"sharded({algo}x{shards})"
+    if degraded:
+        label += f"[degraded -{len(lost)}]"
     return TopKResult(
-        values=values,
-        indices=indices,
-        algo=f"sharded({algo}x{shards})",
+        values=values[..., :k_got],
+        indices=indices[..., :k_got],
+        algo=label,
         device=coordinator,
+        degraded=degraded,
+        recall_bound=bound,
+        meta=meta,
     )

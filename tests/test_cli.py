@@ -252,6 +252,44 @@ class TestServeBenchCommand:
         assert code == 0
         assert "served=" in capsys.readouterr().out
 
+    def test_serve_bench_faults_reports_availability(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.faults import FaultPlan, FaultRule
+
+        plan_path = FaultPlan(
+            seed=42,
+            rules=(
+                FaultRule(kind="shard_failure", rate=0.05),
+                FaultRule(kind="straggler", rate=0.05, factor=5.0),
+            ),
+        ).save(tmp_path / "plan.json")
+        code = main(
+            ["serve-bench", "--qps", "200", "--duration", "1",
+             "--shards", "4", "--faults", str(plan_path),
+             "--out", str(tmp_path), "-q"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability:" in out and "faults:" in out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        obs.validate_manifest(manifest)
+        cfg = manifest["config"]
+        assert cfg["faults_plan"] == "plan.json"
+        assert cfg["availability"] >= 0.99  # the PR acceptance bar
+        assert sum(cfg["faults_injected"].values()) >= 1
+        assert {"degraded", "failed", "retries", "hedges"} <= set(cfg)
+
+    def test_serve_bench_rejects_invalid_fault_plan(self, tmp_path):
+        from repro.obs.schema import SchemaError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.faults.plan/v1", "seed": 0}')
+        with pytest.raises(SchemaError):
+            main(["serve-bench", "--duration", "0.1",
+                  "--faults", str(bad), "-q"])
+
 
 class TestDriftCommand:
     def test_drift_reports_per_algorithm(self, tmp_path, capsys):

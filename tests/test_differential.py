@@ -12,17 +12,28 @@ A second class pins the ``auto`` acceptance criterion: on every point of
 the grid the dispatcher's simulated time never loses to the *worst*
 concrete algorithm (a dispatcher that can't beat "pick anything" would be
 pointless).
+
+The fault-injected pass (:class:`TestDegradedDifferential`) extends the
+layer to degraded results: a sharded selection that irrecoverably loses a
+shard must still return the *exact* top-k of the surviving data, and its
+empirical recall against the full np.partition reference must honour the
+``recall_bound`` it reports — across the same dtype/direction grid.
 """
 
 from __future__ import annotations
+
+from collections import Counter
 
 import numpy as np
 import pytest
 
 from repro.algos import UnsupportedProblem, get_algorithm
 from repro.bench import ALL_ALGORITHMS
+from repro.faults import FaultPlan, FaultRule
 from repro.perf import simulate_topk
 from repro.primitives import priority_keys
+from repro.serve import sharded_topk
+from repro.serve.sharder import shard_bounds
 from repro.verify import check_topk
 
 N = 512
@@ -116,6 +127,97 @@ class TestUnsupportedIsExplicit:
             else:
                 with pytest.raises(UnsupportedProblem):
                     algorithm.select(data, k)
+
+
+@pytest.mark.parametrize("largest", (False, True), ids=("smallest", "largest"))
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestDegradedDifferential:
+    """Degraded results vs np.partition: exact on survivors, recall-bounded
+    on the full data (satellite b of the fault-injection PR)."""
+
+    SHARDS = 4
+    K = 64
+    # sticky -> every retry of the doomed shard fails too, forcing the
+    # degraded path deterministically (seed 11 loses >= 1 of 4 shards)
+    PLAN = FaultPlan(
+        seed=11, rules=(FaultRule(kind="shard_failure", rate=0.3, sticky=True),)
+    )
+
+    def test_degraded_recall_bound_holds(self, dtype, largest):
+        for kind in _kinds(dtype):
+            seed = hash((dtype, kind, "degraded")) % (2**31)
+            rng = np.random.default_rng(seed)
+            data = np.concatenate(
+                [_case_data(dtype, kind, seed + i) for i in range(4)]
+            )
+            rng.shuffle(data)
+            n = data.shape[0]
+            result = sharded_topk(
+                data, self.K, shards=self.SHARDS, algo="sort",
+                largest=largest, injector=self.PLAN.injector(),
+            )
+            label = f"{dtype} {kind} largest={largest}"
+            assert result.degraded and result.recall_bound is not None, label
+
+            # 1. exact on the surviving data: multiset-equal to the
+            # np.partition reference computed with the lost ranges removed
+            bounds = shard_bounds(n, self.SHARDS)
+            lost = np.zeros(n, dtype=bool)
+            for shard in result.meta["lost_shards"]:
+                lo, hi = bounds[shard]
+                lost[lo:hi] = True
+            survivors = data[~lost]
+            # indices must round-trip into the full data and avoid the
+            # lost ranges (check_topk would demand the full-data oracle,
+            # which a degraded result by definition cannot match)
+            values = np.asarray(result.values)
+            gathered = data[result.indices]
+            if values.dtype.kind == "f":
+                assert np.array_equal(gathered, values, equal_nan=True), label
+            else:
+                assert np.array_equal(gathered, values), label
+            assert not lost[result.indices].any(), label
+            got = np.sort(
+                priority_keys(
+                    np.ascontiguousarray(result.values)[None, :],
+                    largest=largest,
+                )[0]
+            )
+            expect = _partition_reference(survivors, self.K, largest)
+            assert np.array_equal(got, expect), label
+
+            # 2. empirical recall vs the FULL-data reference honours the
+            # reported probabilistic bound (key multisets handle ties)
+            full = _partition_reference(data, self.K, largest)
+            overlap = sum(
+                (Counter(full.tolist()) & Counter(got.tolist())).values()
+            )
+            recall = overlap / self.K
+            assert recall >= result.recall_bound, (
+                f"{label}: recall {recall:.3f} < bound "
+                f"{result.recall_bound:.3f}"
+            )
+            assert recall <= 1.0
+
+    def test_transient_faults_stay_exact(self, dtype, largest):
+        """Non-degraded fault runs must stay a *differential no-op*: the
+        same key multiset as np.partition on the full data."""
+        plan = FaultPlan(
+            seed=1, rules=(FaultRule(kind="shard_failure", rate=0.4),)
+        )
+        data = _case_data(dtype, "uniform", 13)
+        data = np.concatenate([data, _case_data(dtype, "uniform", 14)])
+        result = sharded_topk(
+            data, self.K, shards=self.SHARDS, algo="sort",
+            largest=largest, injector=plan.injector(),
+        )
+        assert not result.degraded
+        got = np.sort(
+            priority_keys(
+                np.ascontiguousarray(result.values)[None, :], largest=largest
+            )[0]
+        )
+        assert np.array_equal(got, _partition_reference(data, self.K, largest))
 
 
 class TestAutoNeverWorst:

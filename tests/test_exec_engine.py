@@ -27,6 +27,7 @@ from repro.exec import (
     point_seed,
 )
 from repro.exec import worker as worker_mod
+from repro.faults import FaultPlan, FaultRule
 
 GOLDEN_GRID = dict(
     algos=("air_topk", "sort", "radix_select", "bitonic_topk", "auto"),
@@ -237,6 +238,93 @@ class TestFailureIsolation:
         monkeypatch.setattr(worker_mod, "run_point", boom)
         res = parallel_sweep(algos=("sort",), ns=(1 << 10,), ks=(4,))
         assert [p.status for p in res.points] == ["error"]
+
+
+class TestWorkerFaults:
+    """Injected worker faults (satellite d): deterministic flaky workers,
+    retry/backoff, and the workers=1 == workers=N pin under one seed."""
+
+    FLAKY = FaultPlan(
+        seed=3,
+        rules=(
+            FaultRule(kind="worker_crash", rate=0.3, site="exec.point"),
+            FaultRule(kind="timeout", rate=0.15, site="exec.point"),
+        ),
+    )
+    GRID = dict(algos=("sort", "air_topk"), ns=(1 << 10, 1 << 11), ks=(16, 32))
+
+    def test_injected_crash_consumes_retries(self):
+        plan = FaultPlan(
+            seed=3, rules=(FaultRule(kind="worker_crash", rate=0.3),)
+        )
+        # index 0 with seed 3 crashes on attempt 0 only: the retry recovers
+        point = execute_point(_spec(index=0, faults=plan))
+        assert point.status == "ok"
+        # index 2 crashes on every draw: the default budget (1 retry)
+        # exhausts into an error row
+        point = execute_point(_spec(index=2, faults=plan))
+        assert point.status == "error"
+        assert point.detail == "injected worker crash"
+
+    def test_sticky_crash_exhausts_into_error_row(self):
+        plan = FaultPlan(
+            seed=3,
+            rules=(FaultRule(kind="worker_crash", rate=0.3, sticky=True),),
+        )
+        point = execute_point(_spec(index=0, faults=plan, retries=3))
+        assert point.status == "error"
+        assert point.detail == "injected worker crash"
+
+    def test_injected_timeout_row_not_retried(self):
+        plan = FaultPlan(
+            seed=0, rules=(FaultRule(kind="timeout", rate=1.0),)
+        )
+        point = execute_point(_spec(faults=plan))
+        assert point.status == "timeout" and point.time is None
+        assert "injected" in point.detail
+
+    def test_backoff_sleeps_between_retries(self, monkeypatch):
+        naps: list[float] = []
+        monkeypatch.setattr(worker_mod.time, "sleep", naps.append)
+
+        def boom(*a, **kw):
+            raise RuntimeError("persistent")
+
+        monkeypatch.setattr(worker_mod, "run_point", boom)
+        execute_point(_spec(retries=3, backoff_s=0.01, backoff_cap_s=0.025))
+        assert naps == [0.01, 0.02, 0.025]  # capped exponential
+
+    def test_no_backoff_by_default(self, monkeypatch):
+        naps: list[float] = []
+        monkeypatch.setattr(worker_mod.time, "sleep", naps.append)
+
+        def boom(*a, **kw):
+            raise RuntimeError("persistent")
+
+        monkeypatch.setattr(worker_mod, "run_point", boom)
+        execute_point(_spec(retries=2))
+        assert naps == []
+
+    def test_flaky_sweep_identical_across_worker_counts(self):
+        """The acceptance pin: the same fault seed produces the same rows
+        at any worker count — injection draws key on the grid index, not
+        the process that happens to run the point."""
+        serial = parallel_sweep(workers=1, faults=self.FLAKY, **self.GRID)
+        pooled = parallel_sweep(workers=4, chunk_size=1, faults=self.FLAKY,
+                                **self.GRID)
+        assert serial.points == pooled.points
+        statuses = {p.status for p in serial.points}
+        assert "timeout" in statuses  # chaos actually fired
+        rows = [(p.status, p.detail) for p in serial.points
+                if p.detail.startswith("injected")]
+        assert rows  # at least one injected row, pinned above
+
+    def test_no_plan_unchanged(self):
+        """faults=None must reproduce the fault-free sweep exactly."""
+        a = parallel_sweep(workers=1, **self.GRID)
+        b = parallel_sweep(workers=1, faults=None, **self.GRID)
+        assert a.points == b.points
+        assert all(p.status == "ok" for p in a.points)
 
 
 class TestSeedModes:

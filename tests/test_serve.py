@@ -388,6 +388,30 @@ class TestTopKService:
         assert np.array_equal(a.values, b.values)
         assert np.array_equal(a.indices, b.indices)
 
+    def test_failed_batch_never_drops_outcomes(self):
+        """Regression (PR 4): a batch whose execution raises must finish
+        every request as ``failed`` — the seed code lost them silently,
+        leaving callers waiting forever and ServeStats under-counting."""
+        # warp_select caps k at 2048; k=3000 makes every batch raise
+        # UnsupportedProblem inside _run_batch's try (a *real* exception,
+        # no fault plan involved)
+        config = ServeConfig(algo="warp_select", max_batch=4,
+                             max_delay_s=0.01, result_cache=0)
+        service = TopKService(config)
+        requests = [
+            make_request(i, i * 0.001, n=4096, k=3000) for i in range(6)
+        ]
+        stats = service.run(requests)  # must not raise
+        assert stats.failed == 6 and stats.served == 0
+        assert stats.total == 6  # failed requests count in the totals
+        failed = [o for o in service.outcomes if o.status == "failed"]
+        assert sorted(o.rid for o in failed) == list(range(6))
+        for outcome in failed:
+            assert "UnsupportedProblem" in outcome.error
+            assert outcome.values is None and outcome.latency_s is None
+        # retried once (the default budget) before giving up
+        assert stats.retries >= 1
+
     def test_metrics_emitted(self):
         from repro.obs import metrics_session
 
