@@ -37,6 +37,11 @@ class RunContext:
     nominal_k: int
     #: deterministic source for algorithmic randomness (pivot sampling)
     rng: np.random.Generator
+    #: the seed ``rng`` was built from.  Host-serialised algorithms that
+    #: loop rows re-seed a fresh generator per row from this, so a batched
+    #: run replays each row exactly as a single-shot run would (and is
+    #: therefore invariant to row order)
+    seed: int = 0
 
     @property
     def batch(self) -> int:
@@ -158,6 +163,7 @@ class TopKAlgorithm(abc.ABC):
             nominal_n=nominal_n,
             nominal_k=nominal_k,
             rng=np.random.default_rng(seed),
+            seed=seed,
         )
         key_out, idx = self._run(ctx)
         # the benchmark stops its timer after draining the stream; every

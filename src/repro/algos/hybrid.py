@@ -64,6 +64,9 @@ class DrTopKHybrid(TopKAlgorithm):
         out_keys = np.empty((batch, ctx.k), dtype=ctx.keys.dtype)
         out_idx = np.empty((batch, ctx.k), dtype=np.int64)
         for row in range(batch):
+            # fresh identically-seeded stream per row (the delegated base
+            # may consume it): batched == stacked single-shot runs
+            ctx.rng = np.random.default_rng(ctx.seed)
             rk, ri = self._select_row(ctx, ctx.keys[row])
             out_keys[row] = rk
             out_idx[row] = ri
@@ -80,6 +83,7 @@ class DrTopKHybrid(TopKAlgorithm):
             nominal_n=max(nominal_n, keys.shape[0]),
             nominal_k=k,
             rng=ctx.rng,
+            seed=ctx.seed,
         )
         child_keys, child_idx = self.base._run(child)
         return child_keys[0], child_idx[0]

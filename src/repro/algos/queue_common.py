@@ -213,19 +213,31 @@ def emulate_queue_select(
             padded = np.zeros((num_slices, rounds_c * lanes), dtype=bool)
             padded[:, :c] = mask
             per_round = padded.reshape(num_slices, rounds_c, lanes)
-            for s in range(num_slices):
-                if not per_slice_q[s]:
-                    continue
-                if per_round[s].all() and (thread_fill[s] == thread_fill[s, 0]).all():
-                    # dense phase: every lane inserts every round
-                    total_s = thread_fill[s, 0] + rounds_c
-                    stats.flushes += int(total_s // queue_len)
-                    thread_fill[s] = total_s % queue_len
-                else:
-                    f, thread_fill[s] = _thread_mode_flushes(
-                        per_round[s], thread_fill[s], queue_len
-                    )
-                    stats.flushes += f
+            # tier 0 — no flush possible: cumulative lane counts are
+            # monotone, so if no lane's final fill reaches queue_len, no
+            # prefix does either; the whole chunk is plain accumulation.
+            # This is the common case once the threshold tightens, and it
+            # covers every slice in one vectorised step.
+            lane_counts = per_round.sum(axis=1, dtype=np.int64)
+            no_flush = (thread_fill + lane_counts).max(axis=1) < queue_len
+            thread_fill[no_flush] += lane_counts[no_flush]
+            # tier 1 — dense phase: every lane inserts every round and the
+            # fills are uniform, so flush arithmetic is closed-form
+            dense = (
+                ~no_flush
+                & per_round.all(axis=(1, 2))
+                & (thread_fill == thread_fill[:, :1]).all(axis=1)
+            )
+            if dense.any():
+                total_d = thread_fill[dense, 0] + rounds_c
+                stats.flushes += int((total_d // queue_len).sum())
+                thread_fill[dense] = (total_d % queue_len)[:, None]
+            # tier 2 — exact per-slice replay for the irregular remainder
+            for s in np.flatnonzero(~no_flush & ~dense):
+                f, thread_fill[s] = _thread_mode_flushes(
+                    per_round[s], thread_fill[s], queue_len
+                )
+                stats.flushes += f
 
         # --- merge qualified candidates into the maintained top-k ---------
         maxc = int(per_slice_q.max()) if num_slices else 0

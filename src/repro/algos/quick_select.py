@@ -37,6 +37,9 @@ class QuickSelect(TopKAlgorithm):
         out_keys = np.empty((batch, ctx.k), dtype=np.uint32)
         out_idx = np.empty((batch, ctx.k), dtype=np.int64)
         for row in range(batch):
+            # fresh identically-seeded pivot stream per row: the batched
+            # run replays each row exactly as a single-shot run would
+            ctx.rng = np.random.default_rng(ctx.seed)
             rk, ri = self._select_row(ctx, ctx.keys[row])
             out_keys[row] = rk
             out_idx[row] = ri

@@ -49,6 +49,11 @@ class SortTopK(TopKAlgorithm):
         idx = order[:, : ctx.k].astype(np.int64)
         key_out = np.take_along_axis(keys, idx, axis=1)
 
+        copy_grid = streaming_grid(
+            device.spec,
+            ctx.nominal_k,
+            items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
+        )
         device.allocate_workspace(8.0 * n)  # double buffer, reused per problem
         for _ in range(batch):
             # upfront histogram pass over all digits (onesweep)
@@ -73,10 +78,7 @@ class SortTopK(TopKAlgorithm):
             # gather the first k pairs
             device.launch_kernel(
                 "CopyTopK",
-                grid_blocks=streaming_grid(
-                    device.spec, ctx.nominal_k,
-                    items_per_thread=cal.STREAM_ITEMS_PER_THREAD,
-                ),
+                grid_blocks=copy_grid,
                 block_threads=256,
                 bytes_read=8.0 * ctx.k,
                 bytes_written=8.0 * ctx.k,

@@ -322,6 +322,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_logging(p_drift)
 
+    p_pg = sub.add_parser(
+        "perf-bench",
+        help="run the pinned perf-gate grid and write a BENCH_<rev>.json "
+        "snapshot (simulated time + emulation wall-clock per cell); "
+        "compares against the previous snapshot and fails on hot-path "
+        "wall-clock regressions",
+    )
+    p_pg.add_argument(
+        "--repeats", type=int, default=3, help="wall-clock takes best-of-N"
+    )
+    p_pg.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="fractional wall-clock regression allowed on hot cells "
+        "(default 0.25)",
+    )
+    p_pg.add_argument(
+        "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+    )
+    p_pg.add_argument("--seed", type=int, default=0)
+    p_pg.add_argument(
+        "--out", default=".", help="directory for the BENCH_<rev>.json snapshot"
+    )
+    p_pg.add_argument(
+        "--baseline",
+        default=None,
+        help="snapshot to gate against (default: newest BENCH_*.json in "
+        "--out, other than the one just written)",
+    )
+    p_pg.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and write the snapshot without comparing",
+    )
+    p_pg.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the reduced smoke grid instead of the pinned grid",
+    )
+    add_logging(p_pg)
+
     p_ins = sub.add_parser(
         "inspect",
         help="validate and summarise a telemetry artifact "
@@ -877,6 +919,100 @@ def cmd_drift(args) -> int:
     return 0
 
 
+def cmd_perf_bench(args) -> int:
+    from .bench import perfgate
+
+    grid = perfgate.TINY_GRID if args.tiny else perfgate.PINNED_GRID
+    logger.info(
+        "perf-gate: %d cells, best-of-%d wall clock", len(grid), args.repeats
+    )
+
+    def show(entry) -> None:
+        logger.info(
+            "%s n=%d k=%d batch=%d: sim %s wall %.4fs%s",
+            entry["algo"],
+            entry["n"],
+            entry["k"],
+            entry["batch"],
+            format_time(entry["sim_time_s"]),
+            entry["wall_s"],
+            (
+                f" (fused speedup {entry['fused_speedup']:.2f}x)"
+                if "fused_speedup" in entry
+                else ""
+            ),
+        )
+
+    snapshot = perfgate.collect_snapshot(
+        grid,
+        gpu=args.gpu,
+        repeats=args.repeats,
+        seed=args.seed,
+        progress=show,
+    )
+    rows = [
+        (
+            c["algo"],
+            c["n"],
+            c["k"],
+            c["batch"],
+            "hot" if c["hot"] else "cold",
+            format_time(c["sim_time_s"]),
+            f"{c['wall_s']:.4f}s",
+            f"{c['fused_speedup']:.2f}x" if "fused_speedup" in c else "-",
+        )
+        for c in snapshot["cells"]
+    ]
+    print(
+        format_table(
+            ["algo", "n", "k", "batch", "gate", "sim", "wall", "fused speedup"],
+            rows,
+        )
+    )
+    if "batch100_fused_speedup" in snapshot:
+        print(
+            "batch=100 fused speedup (wall-weighted): "
+            f"{snapshot['batch100_fused_speedup']:.2f}x"
+        )
+    # resolve and read the baseline *before* writing: re-running at the
+    # same revision overwrites the previous snapshot, which must still be
+    # the one gated against
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else perfgate.find_baseline(args.out)
+    )
+    baseline = (
+        perfgate.load_snapshot(baseline_path)
+        if baseline_path is not None
+        else None
+    )
+    path = perfgate.write_snapshot(snapshot, args.out)
+    print(f"snapshot: {path}")
+    if args.no_gate:
+        return 0
+    if baseline is None:
+        print("no baseline snapshot found; gate skipped")
+        return 0
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else perfgate.DEFAULT_TOLERANCE
+    )
+    report = perfgate.compare_snapshots(baseline, snapshot, tolerance=tolerance)
+    print(f"baseline: {baseline_path} (rev {baseline['rev']})")
+    for note in report.notes:
+        print(f"note: {note}")
+    for line in report.regressions:
+        print(f"REGRESSION: {line}")
+    if not report.ok:
+        logger.error(
+            "%d hot-path wall-clock regression(s)", len(report.regressions)
+        )
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     path = Path(args.path)
     if path.suffix == ".csv":
@@ -966,6 +1102,7 @@ COMMANDS = {
     "reproduce": cmd_reproduce,
     "serve-bench": cmd_serve_bench,
     "drift": cmd_drift,
+    "perf-bench": cmd_perf_bench,
     "inspect": cmd_inspect,
 }
 

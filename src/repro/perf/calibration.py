@@ -110,6 +110,12 @@ AIR_PER_PROBLEM_CYCLES = 80.0
 #: batched AIR Top-K at tiny N (Table 2's batch-100 AIR-vs-SOTA floor of
 #: 1.38-1.56)
 QUEUE_PER_PROBLEM_CYCLES = 500.0
+#: per-problem coordination of a fused batched merge level (the serving
+#: coordinator's shard_merge tree): each problem's candidate segment needs
+#: its own offsets and a per-problem write cursor inside the single fused
+#: launch — the per-row floor that replaces per-row launch latency once
+#: batched execution fuses the tree into one grid per level
+MERGE_PER_PROBLEM_CYCLES = 60.0
 #: fixed startup chain of a Faiss queue-select kernel: sentinel-
 #: initialising the k-structure and per-thread queues in registers, plus
 #: the library dispatch around the launch.  Dominates at tiny N.

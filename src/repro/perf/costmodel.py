@@ -331,6 +331,62 @@ def _predict_partition_family(
     return batch * per_row
 
 
+def _predict_bucket_select(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """Fused batched BucketSelect: one launch set per iteration, all rows.
+
+    Unlike the serial partition family, the host round trip (sync, batched
+    histogram PCIe transfer, host scan) is paid once per *iteration*, not
+    once per row — the kernels stream the concatenated candidates of every
+    still-active row, so only the device-side traffic scales with batch.
+    """
+    buckets = 256
+    terminal = 1024.0
+    t = cal.HOST_ALLOC_SECONDS
+    count = float(n)
+    while count > max(terminal, float(k)):
+        total = count * batch
+        shape = _stream_shape(spec, total)
+        t += model.price(  # MinMaxReduce: bucket boundaries for every row
+            shape, bytes_read=4.0 * total, bytes_written=8.0 * batch,
+            flops=2.0 * total,
+        ).duration
+        t += model.price(  # BucketHistogram over the flat candidates
+            shape,
+            bytes_read=4.0 * total,
+            bytes_written=batch * buckets * 4.0,
+            flops=cal.HISTOGRAM_OPS_PER_ELEM * total,
+        ).duration
+        t += model.price(  # ScanBucketOffsets: one block per active row
+            LaunchShape(batch, 256),
+            bytes_read=batch * buckets * 4.0,
+            bytes_written=batch * buckets * 4.0,
+            flops=float(batch * buckets * 8),
+        ).duration
+        t += model.price(  # BucketFilter scatters into grouped buckets
+            shape,
+            bytes_read=8.0 * total,
+            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * total,
+            flops=cal.FILTER_OPS_PER_ELEM * total,
+        ).duration
+        # host coordination once per iteration, not once per row
+        t += 4 * spec.kernel_launch_latency + 4 * spec.sync_latency
+        t += model.pcie_time(8.0 * batch)  # min/max
+        t += model.pcie_time(batch * buckets * 4.0)  # histograms
+        t += cal.HOST_SCAN_SECONDS * batch
+        count = max(float(k), count / buckets)
+    # shared terminal sort: one block per row still owing results
+    comps = _sort_comparators(2 ** math.ceil(math.log2(max(2.0, count))))
+    t += model.price(
+        LaunchShape(batch, 256),
+        bytes_read=8.0 * count * batch,
+        bytes_written=8.0 * k * batch,
+        flops=cal.OPS_PER_COMPARATOR * batch * comps,
+    ).duration
+    return t + spec.kernel_launch_latency + spec.sync_latency
+
+
 def _predict_thread_queue(
     model: KernelCostModel, spec, n: int, k: int, batch: int, *, lanes: int
 ) -> float:
@@ -529,7 +585,7 @@ def _predict(algo: str, model: KernelCostModel, spec, n: int, k: int, batch: int
     if algo == "quick_select":
         return _predict_partition_family(model, spec, n, k, batch, shrink=0.5)
     if algo == "bucket_select":
-        return _predict_partition_family(model, spec, n, k, batch, shrink=1 / 256)
+        return _predict_bucket_select(model, spec, n, k, batch)
     if algo == "sample_select":
         return _predict_partition_family(
             model,

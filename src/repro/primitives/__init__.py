@@ -17,6 +17,12 @@ from .bitonic import (
     merge_select_lower,
     merge_select_lower_with_payload,
 )
+from .batched import (
+    flat_histogram,
+    head_mask,
+    segment_min_max,
+    segment_offsets,
+)
 from .histogram import batched_digit_histogram, digit_histogram
 from .scan import (
     block_scan_ops,
@@ -43,6 +49,10 @@ __all__ = [
     "merge_select_lower_with_payload",
     "batched_digit_histogram",
     "digit_histogram",
+    "flat_histogram",
+    "head_mask",
+    "segment_min_max",
+    "segment_offsets",
     "block_scan_ops",
     "exclusive_scan",
     "find_target_bucket",

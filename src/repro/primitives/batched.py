@@ -1,0 +1,122 @@
+"""Flat (segment-encoded) multi-row helpers for fused batched execution.
+
+The fused batched paths (AIR Top-K, BucketSelect) keep every row's
+surviving candidates in one flat row-major array plus a parallel array of
+row ids — mirroring how a fused GPU kernel keeps the whole batch resident
+in a single launch instead of replaying per-row kernels.  These helpers
+are the segment algebra those paths share:
+
+* :func:`segment_offsets` — CSR-style offsets from per-segment counts;
+* :func:`flat_histogram` — per-segment digit histograms of a flat array
+  in one ``bincount`` (the multi-row generalisation of
+  :func:`repro.primitives.histogram.batched_digit_histogram`);
+* :func:`head_mask` — select the first ``take[i]`` elements of each
+  segment of a row-major flat array;
+* :func:`segment_min_max` — per-segment min/max reductions.
+
+All helpers are exact (integer arithmetic only); the fused paths that use
+them are pinned byte-identical to the per-row reference execution by
+``tests/test_differential.py::TestBatchedDifferential``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def segment_offsets(counts: np.ndarray) -> np.ndarray:
+    """CSR offsets (length ``len(counts) + 1``) of row-major segments.
+
+    >>> segment_offsets(np.array([2, 0, 3]))
+    array([0, 2, 2, 5])
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ValueError(f"counts must be 1-d, got shape {counts.shape}")
+    if counts.size and counts.min() < 0:
+        raise ValueError("segment counts must be non-negative")
+    offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def flat_histogram(
+    segments: np.ndarray,
+    values: np.ndarray,
+    num_segments: int,
+    num_buckets: int,
+) -> np.ndarray:
+    """Per-segment histograms of flat ``values``, shape ``(segments, buckets)``.
+
+    ``segments`` holds each element's segment id in ``[0, num_segments)``.
+    One offset ``bincount`` covers every segment — the fused-batch
+    equivalent of one privatised-histogram kernel over the whole batch.
+    """
+    if num_segments < 0 or num_buckets <= 0:
+        raise ValueError(
+            f"need num_segments >= 0 and num_buckets > 0, "
+            f"got {num_segments}, {num_buckets}"
+        )
+    segments = np.asarray(segments, dtype=np.int64)
+    values = np.asarray(values)
+    if segments.shape != values.shape or segments.ndim != 1:
+        raise ValueError(
+            f"segments and values must be matching 1-d arrays, "
+            f"got {segments.shape} and {values.shape}"
+        )
+    if segments.size == 0:
+        return np.zeros((num_segments, num_buckets), dtype=np.int64)
+    if segments.min() < 0 or segments.max() >= num_segments:
+        raise ValueError(f"segment ids outside [0, {num_segments})")
+    v = values.astype(np.int64)
+    if v.min() < 0 or v.max() >= num_buckets:
+        raise ValueError(f"bucket values outside [0, {num_buckets})")
+    flat = segments * num_buckets + v
+    counts = np.bincount(flat, minlength=num_segments * num_buckets)
+    return counts.reshape(num_segments, num_buckets)
+
+
+def head_mask(counts: np.ndarray, take: np.ndarray) -> np.ndarray:
+    """Mask selecting the first ``take[i]`` elements of each segment.
+
+    ``counts`` describes a row-major flat array's segment lengths; the
+    returned boolean mask has ``counts.sum()`` entries.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    take = np.asarray(take, dtype=np.int64)
+    if counts.shape != take.shape:
+        raise ValueError("counts and take must have matching shapes")
+    offsets = segment_offsets(counts)
+    total = int(offsets[-1])
+    position = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+    return position < np.repeat(take, counts)
+
+
+def segment_min_max(
+    values: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment ``(min, max)`` of a row-major flat array.
+
+    Every segment must be non-empty (``ufunc.reduceat`` silently reads the
+    next segment's first element otherwise, so this is checked).
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size < 1:
+        raise ValueError("offsets must be a 1-d CSR offset array")
+    if offsets.size == 1:
+        return (
+            np.empty(0, dtype=values.dtype),
+            np.empty(0, dtype=values.dtype),
+        )
+    if int(offsets[-1]) != values.shape[0]:
+        raise ValueError(
+            f"offsets cover {int(offsets[-1])} elements, have {values.shape[0]}"
+        )
+    if (np.diff(offsets) <= 0).any():
+        raise ValueError("segment_min_max requires non-empty segments")
+    starts = offsets[:-1]
+    return (
+        np.minimum.reduceat(values, starts),
+        np.maximum.reduceat(values, starts),
+    )

@@ -29,8 +29,16 @@ def batched_digit_histogram(digits: np.ndarray, num_buckets: int) -> np.ndarray:
     rows = digits.shape[0]
     if digits.size and (digits.min() < 0 or digits.max() >= num_buckets):
         raise ValueError(f"digit values outside [0, {num_buckets})")
-    # offset each row into its own bucket range so one bincount does all rows
-    offsets = (np.arange(rows, dtype=np.int64) * num_buckets)[:, None]
-    flat = (digits.astype(np.int64) + offsets).ravel()
-    counts = np.bincount(flat, minlength=rows * num_buckets)
+    # offset each row into its own bucket range so one bincount does all
+    # rows; staying in the digits' own dtype (when the flat bin index
+    # fits) skips a full-size int64 temporary on the hot path
+    total_bins = rows * num_buckets
+    dt = digits.dtype
+    if dt.kind == "u" and total_bins <= np.iinfo(dt).max:
+        offsets = (np.arange(rows, dtype=dt) * dt.type(num_buckets))[:, None]
+        flat = (digits + offsets).ravel()
+    else:
+        offsets = (np.arange(rows, dtype=np.int64) * num_buckets)[:, None]
+        flat = (digits.astype(np.int64) + offsets).ravel()
+    counts = np.bincount(flat, minlength=total_bins)
     return counts.reshape(rows, num_buckets)

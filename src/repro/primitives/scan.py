@@ -57,7 +57,7 @@ def find_target_bucket(psum: np.ndarray, k: int | np.ndarray) -> np.ndarray | np
         raise ValueError("batched k must have one entry per histogram row")
     if np.any(k_arr < 1) or np.any(k_arr > psum[:, -1]):
         raise ValueError("some k outside the range covered by its histogram")
-    out = np.empty(psum.shape[0], dtype=np.int64)
-    for row in range(psum.shape[0]):  # rows are few; columns are the long axis
-        out[row] = np.searchsorted(psum[row], k_arr[row], side="left")
-    return out
+    # vectorised left-bisection: prefix sums are non-decreasing per row, so
+    # searchsorted(psum[row], k, side="left") == #entries strictly below k.
+    # One fused comparison covers every row of the batch at once.
+    return (psum < k_arr[:, None]).sum(axis=1, dtype=np.int64)

@@ -32,6 +32,7 @@ from ..api import resolve_device
 from ..device import Device, streaming_grid
 from ..exec import fanout
 from ..faults import HedgePolicy, RetryPolicy, recall_bound
+from ..perf import calibration as cal
 from .merge import hierarchical_merge
 
 #: comparator-ish FLOPs charged per merged candidate per level
@@ -209,10 +210,14 @@ def sharded_topk(
     coordinator = Device(spec)
     slowest = max(effective_times)
     coordinator.cpu_time = coordinator.gpu_time = slowest
-    candidates = sum(p[0].shape[1] for p in partials) * data.shape[0]
+    batch = data.shape[0]
+    candidates = sum(p[0].shape[1] for p in partials) * batch
     elem_bytes = 8.0 + data.dtype.itemsize  # key + index per candidate
     for level in range(levels):
         merged = max(1, candidates >> level)
+        # one fused grid launch merges every problem's candidates at this
+        # level; the per-problem segment bookkeeping is a fixed serial
+        # chain that does not shrink with device scale
         coordinator.launch_kernel(
             f"shard_merge_l{level}",
             grid_blocks=streaming_grid(spec, merged),
@@ -220,15 +225,23 @@ def sharded_topk(
             bytes_read=elem_bytes * merged,
             bytes_written=elem_bytes * max(1, merged // 2),
             flops=_MERGE_OPS_PER_ELEM * merged,
-            span_args={"level": level, "candidates": merged},
+            fixed_dependent_cycles=batch * cal.MERGE_PER_PROBLEM_CYCLES,
+            span_args={"level": level, "candidates": merged, "batch": batch},
         )
     coordinator.synchronize("sync_result")
 
     degraded = bool(lost)
     bound = None
-    meta: dict = {}
+    # whether each shard ran its batch in fused launches (one grid per
+    # pass) or replayed per-row — callers budgeting coordinator work need
+    # to know which launch-cost regime the shards were in
+    meta: dict = {
+        "batched_execution": bool(
+            getattr(get_algorithm(algo, params=params), "batched_execution", False)
+        )
+    }
     if injector is not None:
-        meta = {"retries": retries_total, "hedges": hedges, "shards_lost": len(lost)}
+        meta.update(retries=retries_total, hedges=hedges, shards_lost=len(lost))
     if degraded:
         n_lost = sum(bounds[i][1] - bounds[i][0] for i in lost)
         coverage, bound = recall_bound(k, n, n_lost)

@@ -112,6 +112,78 @@ class TestDifferential:
                 assert np.array_equal(got, expect), label
 
 
+@pytest.mark.parametrize("largest", (False, True), ids=("smallest", "largest"))
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("algo", ALL_ALGORITHMS)
+class TestBatchedDifferential:
+    """Batched execution is a pure layout change: a (batch, n) call must be
+    byte-identical — values, indices, dtypes — to stacking the single-shot
+    result of each row.  This pins the fused batched hot paths (AIR,
+    BucketSelect, the queue family) to their per-row reference semantics
+    across dtypes, directions, ties and float specials.
+
+    ``auto`` is deliberately absent: its dispatch decision depends on the
+    batch shape, so cross-batch identity is not part of its contract.
+    """
+
+    BATCHES = (1, 3, 17)
+    BIG_BATCH = 100
+
+    @staticmethod
+    def _rows(algo: str, dtype: str, kind: str, batch: int, seed: int):
+        return np.stack(
+            [_case_data(dtype, kind, seed + 31 * i) for i in range(batch)]
+        )
+
+    @staticmethod
+    def _assert_identical(batched, data, algorithm, k, largest, seed, label):
+        for i in range(data.shape[0]):
+            single = algorithm.select(
+                data[i], k, largest=largest, seed=seed
+            )
+            assert batched.values.dtype == single.values.dtype, label
+            assert (
+                batched.values[i].tobytes() == single.values.tobytes()
+            ), f"{label} row={i} values"
+            assert np.array_equal(
+                batched.indices[i], single.indices
+            ), f"{label} row={i} indices"
+
+    def test_batched_equals_stacked_single_shot(self, algo, dtype, largest):
+        algorithm = get_algorithm(algo)
+        for kind in _kinds(dtype):
+            for batch in self.BATCHES:
+                for k in (1, 16):
+                    if algorithm.supports(N, k) is not None:
+                        continue
+                    seed = hash((dtype, kind, batch, k)) % (2**31)
+                    data = self._rows(algo, dtype, kind, batch, seed)
+                    res = algorithm.select(
+                        data, k, largest=largest, seed=seed
+                    )
+                    self._assert_identical(
+                        res, data, algorithm, k, largest, seed,
+                        f"{algo} {dtype} {kind} batch={batch} k={k} "
+                        f"largest={largest}",
+                    )
+
+    def test_big_batch_equals_stacked_single_shot(self, algo, dtype, largest):
+        """batch=100 spot check on the tie/special-heavy inputs."""
+        kind = "special" if np.dtype(dtype).kind == "f" else "ties"
+        k = 16
+        algorithm = get_algorithm(algo)
+        if algorithm.supports(N, k) is not None:
+            pytest.skip(f"{algo} does not support n={N}, k={k}")
+        seed = hash((dtype, kind, self.BIG_BATCH)) % (2**31)
+        data = self._rows(algo, dtype, kind, self.BIG_BATCH, seed)
+        res = algorithm.select(data, k, largest=largest, seed=seed)
+        self._assert_identical(
+            res, data, algorithm, k, largest, seed,
+            f"{algo} {dtype} {kind} batch={self.BIG_BATCH} k={k} "
+            f"largest={largest}",
+        )
+
+
 class TestUnsupportedIsExplicit:
     """Gaps must be declared via supports()/UnsupportedProblem, never
     silently wrong output."""
