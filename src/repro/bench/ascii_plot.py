@@ -88,6 +88,34 @@ def ascii_plot(
     return "\n".join(lines)
 
 
+#: sparkline intensity ramp, lowest to highest
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float | None], *, levels: str = _SPARK_LEVELS) -> str:
+    """One character per value, scaled to the series' own min..max.
+
+    ``None`` values render as gaps; a flat series renders at the lowest
+    non-empty level.  Pure ASCII so the serve-report dashboard survives
+    any terminal or CI log.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return " " * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        elif span <= 0:
+            out.append(levels[1])
+        else:
+            idx = 1 + round((v - lo) / span * (len(levels) - 2))
+            out.append(levels[idx])
+    return "".join(out)
+
+
 def _pow_label(x: float) -> str:
     """Label x as 2^p when it is (close to) a power of two."""
     if x > 0:

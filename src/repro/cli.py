@@ -301,10 +301,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--out",
         default=None,
-        help="directory for the run manifest (one BenchPoint per micro-batch)",
+        help="directory for the run manifest (one BenchPoint per micro-batch) "
+        "and the serve report",
+    )
+    p_serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC.json",
+        help="evaluate SLOs from a repro.obs.slo/v1 spec file ('default' "
+        "uses the built-in availability + latency targets); prints the "
+        "verdicts and exits 1 on any violation "
+        "(benchmarks/slo/default.json is a reference spec)",
+    )
+    p_serve.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the windowed repro.obs.serve_report/v1 JSON here "
+        "(view it with 'repro-topk serve-report')",
+    )
+    p_serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=250.0,
+        help="telemetry window width for the serve report's time series",
+    )
+    p_serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        help="host threads for sharded execution's numpy fan-out (never "
+        "changes outcomes or the serve report)",
     )
     add_logging(p_serve)
     add_telemetry(p_serve)
+
+    p_srep = sub.add_parser(
+        "serve-report",
+        help="render a serve_report JSON (written by serve-bench --report) "
+        "as the windowed ascii dashboard with SLO verdicts",
+    )
+    p_srep.add_argument("path", help="repro.obs.serve_report/v1 JSON file")
+    p_srep.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="exit 0 even when the report records SLO violations",
+    )
+    add_logging(p_srep)
 
     p_drift = sub.add_parser(
         "drift",
@@ -798,15 +841,65 @@ def cmd_serve_bench(args) -> int:
         shards=args.shards,
         seed=args.seed,
         faults=plan,
+        window_s=args.window_ms / 1e3,
+        workers=args.serve_workers,
     )
     started = time.perf_counter()
-    with _telemetry_session(args):
+    with _telemetry_session(args) as (tracer, _registry):
         with obs.span(
             "serve-bench", cat="serve", qps=args.qps, duration=args.duration
-        ):
+        ) as serve_span:
             report, service = run_serve_bench(spec, config)
+        if tracer is not None:
+            # re-base the virtual-time request/node lanes onto the wall
+            # clock of the enclosing span, same convention as the
+            # simulated device timelines
+            tracer.extend(
+                service.telemetry_spans(base_us=serve_span.start_us)
+            )
     wall = time.perf_counter() - started
     print(report.format())
+
+    slos = obs.DEFAULT_SLOS
+    if args.slo and args.slo != "default":
+        try:
+            slos = obs.load_slo_specs(args.slo)
+        except (OSError, ValueError) as exc:
+            logger.error("cannot load SLO spec %s: %s", args.slo, exc)
+            return 1
+    serve_report = None
+    if args.slo or args.report or args.out:
+        serve_report = obs.build_serve_report(
+            service.telemetry,
+            report.stats,
+            config={
+                "qps": args.qps,
+                "duration_s": args.duration,
+                "n": args.n,
+                "k": args.k,
+                "algo": args.algo,
+                "gpu": args.gpu,
+                "shards": args.shards,
+                "seed": args.seed,
+            },
+            slos=slos,
+        )
+    if args.report:
+        path = obs.write_serve_report(serve_report, args.report)
+        logger.info(
+            "wrote serve report (%d windows) to %s",
+            len(serve_report["windows"]),
+            path,
+        )
+    if args.slo:
+        for entry in serve_report["slos"]:
+            verdict = "VIOLATED" if entry["violated"] else "ok"
+            print(
+                f"  SLO [{verdict}] {entry['name']}: "
+                f"sli {entry['sli'] * 100:.2f}% vs target "
+                f"{entry['target'] * 100:g}%  "
+                f"max burn {entry['max_burn_rate']:.2f}x"
+            )
     if args.out:
         # one BenchPoint per executed micro-batch: the serving analogue of
         # a sweep row, so manifests stay schema-compatible with PR 2
@@ -826,6 +919,15 @@ def cmd_serve_bench(args) -> int:
             for kind in ("trace", "metrics")
             if getattr(args, kind, None)
         }
+        report_path = obs.write_serve_report(
+            serve_report, Path(args.out) / "serve_report.json"
+        )
+        artifacts["serve_report"] = report_path.name
+        logger.info(
+            "wrote serve report (%d windows) to %s",
+            len(serve_report["windows"]),
+            report_path,
+        )
         manifest = obs.build_manifest(
             command="serve-bench",
             config={
@@ -867,6 +969,25 @@ def cmd_serve_bench(args) -> int:
         )
         path = obs.write_manifest(manifest, Path(args.out) / "manifest.json")
         logger.info("wrote run manifest to %s", path)
+    if args.slo and serve_report["violations"]:
+        logger.error(
+            "SLO violations: %s", ", ".join(serve_report["violations"])
+        )
+        return 1
+    return 0
+
+
+def cmd_serve_report(args) -> int:
+    path = Path(args.path)
+    try:
+        payload = json.loads(path.read_text())
+        obs.validate_serve_report(payload)
+    except (OSError, ValueError) as exc:
+        logger.error("cannot read serve report %s: %s", path, exc)
+        return 1
+    print(obs.render_serve_report(payload))
+    if payload["violations"] and not args.no_fail:
+        return 1
     return 0
 
 
@@ -1062,6 +1183,38 @@ def cmd_inspect(args) -> int:
         ]
         print(format_table(["field", "value"], rows))
         return 0
+    if schema == "repro.obs.serve_report/v1":
+        obs.validate_serve_report(payload)
+        totals = payload["totals"]
+        print(f"{path}: valid serve report")
+        rows = [
+            ("windows", f"{len(payload['windows'])} x {payload['window_s']:g}s"),
+            ("requests", totals["requests"]),
+            ("availability", f"{totals['availability'] * 100:.2f}%"),
+            (
+                "latency",
+                "  ".join(
+                    f"p{q:g}={totals[f'latency_p{q:g}_s'] * 1e3:.3f}ms"
+                    if totals[f"latency_p{q:g}_s"] is not None
+                    else f"p{q:g}=-"
+                    for q in (50.0, 95.0, 99.0)
+                ),
+            ),
+            (
+                "slos",
+                ", ".join(
+                    f"{s['name']} ({'VIOLATED' if s['violated'] else 'ok'})"
+                    for s in payload["slos"]
+                )
+                or "-",
+            ),
+        ]
+        print(format_table(["field", "value"], rows))
+        return 0
+    if schema == "repro.obs.slo/v1":
+        obs.validate_slo_spec(payload)
+        print(f"{path}: valid SLO spec ({len(payload['slos'])} objectives)")
+        return 0
     if schema == "repro.obs.metrics/v1":
         obs.validate_metrics(payload)
         print(f"{path}: valid metrics dump")
@@ -1101,6 +1254,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "reproduce": cmd_reproduce,
     "serve-bench": cmd_serve_bench,
+    "serve-report": cmd_serve_report,
     "drift": cmd_drift,
     "perf-bench": cmd_perf_bench,
     "inspect": cmd_inspect,

@@ -43,12 +43,27 @@ from .metrics import (
 from .schema import (
     MANIFEST_SCHEMA,
     METRICS_SCHEMA,
+    SERVE_REPORT_SCHEMA,
+    SLO_SPEC_SCHEMA,
     TRACE_EVENT_SCHEMA,
     SchemaError,
     validate,
     validate_manifest,
     validate_metrics,
+    validate_serve_report,
+    validate_slo_spec,
     validate_trace,
+)
+from .serve import (
+    DEFAULT_SLOS,
+    ServeTelemetry,
+    SLOSpec,
+    build_serve_report,
+    evaluate_slos,
+    histogram_quantile,
+    load_slo_specs,
+    render_serve_report,
+    write_serve_report,
 )
 from .spans import (
     DEFAULT_LANE,
@@ -94,17 +109,23 @@ def local_session(*, trace: bool = False, metrics: bool = False, lane: str = DEF
 
 __all__ = [
     "DEFAULT_LANE",
+    "DEFAULT_SLOS",
     "DriftSummary",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "NULL_SPAN",
     "PointDrift",
+    "SERVE_REPORT_SCHEMA",
+    "SLOSpec",
+    "SLO_SPEC_SCHEMA",
     "SchemaError",
+    "ServeTelemetry",
     "SpanEvent",
     "SpanTracer",
     "TRACE_EVENT_SCHEMA",
     "build_manifest",
+    "build_serve_report",
     "chrome_trace",
     "count",
     "counters_payload",
@@ -113,21 +134,28 @@ __all__ = [
     "drift_report",
     "enable_metrics",
     "enable_tracing",
+    "evaluate_slos",
     "get_metrics",
     "get_tracer",
+    "histogram_quantile",
+    "load_slo_specs",
     "local_session",
     "metrics_enabled",
     "metrics_session",
     "point_drift",
     "record_point_drift",
+    "render_serve_report",
     "span",
     "trace_session",
     "tracing_enabled",
     "validate",
     "validate_manifest",
     "validate_metrics",
+    "validate_serve_report",
+    "validate_slo_spec",
     "validate_trace",
     "versions",
     "write_manifest",
+    "write_serve_report",
     "write_trace",
 ]

@@ -181,8 +181,181 @@ TRACE_EVENT_SCHEMA = {
 }
 
 
+#: declarative SLO spec files loaded by ``serve-bench --slo``
+SLO_SPEC_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "slos"],
+    "properties": {
+        "schema": {"const": "repro.obs.slo/v1"},
+        "slos": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "kind", "target"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "kind": {"enum": ["availability", "latency"]},
+                    "target": {"type": "number"},
+                    "threshold_s": {"type": "number"},
+                },
+            },
+        },
+    },
+}
+
+#: one window of the serve report's time series.  The latency quantiles
+#: and cache hit rate are required but deliberately untyped: they are
+#: null for windows with no samples/lookups
+_SERVE_WINDOW_SCHEMA = {
+    "type": "object",
+    "required": [
+        "index",
+        "start_s",
+        "end_s",
+        "requests",
+        "served",
+        "degraded",
+        "shed",
+        "timeout",
+        "failed",
+        "availability",
+        "latency_p50_s",
+        "latency_p95_s",
+        "latency_p99_s",
+        "queue_depth_mean",
+        "queue_depth_max",
+        "batch_occupancy_mean",
+        "batch_occupancy_max",
+        "cache_hit_rate",
+        "cache_lookups",
+        "faults",
+        "retries",
+        "hedges",
+        "breaker",
+    ],
+    "properties": {
+        "index": {"type": "integer"},
+        "start_s": {"type": "number"},
+        "end_s": {"type": "number"},
+        "requests": {"type": "integer"},
+        "served": {"type": "integer"},
+        "degraded": {"type": "integer"},
+        "shed": {"type": "integer"},
+        "timeout": {"type": "integer"},
+        "failed": {"type": "integer"},
+        "availability": {"type": "number"},
+        "queue_depth_mean": {"type": "number"},
+        "queue_depth_max": {"type": "number"},
+        "batch_occupancy_mean": {"type": "number"},
+        "batch_occupancy_max": {"type": "number"},
+        "cache_lookups": {"type": "integer"},
+        "faults": {"type": "integer"},
+        "retries": {"type": "integer"},
+        "hedges": {"type": "integer"},
+        "breaker": {"type": "integer"},
+    },
+}
+
+SERVE_REPORT_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "config",
+        "window_s",
+        "windows",
+        "totals",
+        "slos",
+        "violations",
+    ],
+    "properties": {
+        "schema": {"const": "repro.obs.serve_report/v1"},
+        "config": {"type": "object"},
+        "window_s": {"type": "number"},
+        "windows": {"type": "array", "items": _SERVE_WINDOW_SCHEMA},
+        "totals": {
+            "type": "object",
+            "required": [
+                "requests",
+                "served",
+                "degraded",
+                "shed",
+                "timeout",
+                "failed",
+                "availability",
+                "batches",
+                "mean_occupancy",
+                "capacity_rps",
+                "makespan_s",
+                "latency_p50_s",
+                "latency_p95_s",
+                "latency_p99_s",
+                "latency_truncated",
+            ],
+            "properties": {
+                "requests": {"type": "integer"},
+                "served": {"type": "integer"},
+                "degraded": {"type": "integer"},
+                "shed": {"type": "integer"},
+                "timeout": {"type": "integer"},
+                "failed": {"type": "integer"},
+                "availability": {"type": "number"},
+                "batches": {"type": "integer"},
+                "mean_occupancy": {"type": "number"},
+                "capacity_rps": {"type": "number"},
+                "makespan_s": {"type": "number"},
+                "latency_truncated": {"type": "boolean"},
+                "faults": {"type": "object"},
+            },
+        },
+        "slos": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "name",
+                    "kind",
+                    "target",
+                    "sli",
+                    "violated",
+                    "budget_consumed",
+                    "max_burn_rate",
+                    "burn_rates",
+                    "violating_windows",
+                ],
+                "properties": {
+                    "name": {"type": "string"},
+                    "kind": {"enum": ["availability", "latency"]},
+                    "target": {"type": "number"},
+                    "sli": {"type": "number"},
+                    "violated": {"type": "boolean"},
+                    "budget_consumed": {"type": "number"},
+                    "max_burn_rate": {"type": "number"},
+                    "burn_rates": {
+                        "type": "array",
+                        "items": {"type": "number"},
+                    },
+                    "violating_windows": {
+                        "type": "array",
+                        "items": {"type": "integer"},
+                    },
+                },
+            },
+        },
+        "violations": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+
 def validate_metrics(payload: Any) -> None:
     validate(payload, METRICS_SCHEMA)
+
+
+def validate_slo_spec(payload: Any) -> None:
+    validate(payload, SLO_SPEC_SCHEMA)
+
+
+def validate_serve_report(payload: Any) -> None:
+    validate(payload, SERVE_REPORT_SCHEMA)
 
 
 def validate_manifest(payload: Any) -> None:

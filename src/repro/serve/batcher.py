@@ -49,6 +49,15 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
         self._groups: dict[GroupKey, list[Request]] = {}
+        #: optional ``observer(event, key, pending)`` callback fired after
+        #: every mutation ("add" / "pop" / "drop") — the service hangs its
+        #: queue-depth telemetry here so depth is sampled at every
+        #: admission and flush, not just between batches
+        self.observer = None
+
+    def _notify(self, event: str, key: GroupKey) -> None:
+        if self.observer is not None:
+            self.observer(event, key, self.pending)
 
     # -- state ---------------------------------------------------------- #
     def __len__(self) -> int:
@@ -62,6 +71,7 @@ class MicroBatcher:
     def add(self, request: Request) -> GroupKey:
         key = GroupKey.of(request)
         self._groups.setdefault(key, []).append(request)
+        self._notify("add", key)
         return key
 
     # -- flush policy --------------------------------------------------- #
@@ -101,6 +111,7 @@ class MicroBatcher:
         take, rest = group[: self.max_batch], group[self.max_batch :]
         if rest:
             self._groups[key] = rest
+        self._notify("pop", key)
         return take
 
     def drop(self, key: GroupKey, rid: int) -> Request | None:
@@ -113,6 +124,7 @@ class MicroBatcher:
                 group.pop(i)
                 if not group:
                     del self._groups[key]
+                self._notify("drop", key)
                 return request
         return None
 

@@ -105,6 +105,21 @@ class ServeCache:
         #: entries that failed their integrity checksum on read (each one
         #: was evicted and re-fetched — see :meth:`get_result`)
         self.corruptions = 0
+        #: optional ``on_event(event)`` callback fired per lookup with
+        #: "result_hit" / "result_miss" / "result_corrupt" / "plan_hit" /
+        #: "plan_miss" — the service routes these into its ``serve.cache``
+        #: metrics and the windowed hit-rate series
+        self.on_event = None
+
+    def _fire(self, event: str) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Result-cache hit fraction so far, or None before any lookup."""
+        lookups = self.results.hits + self.results.misses
+        return self.results.hits / lookups if lookups else None
 
     # -- dispatch plans ------------------------------------------------- #
     def plan_key(
@@ -132,7 +147,9 @@ class ServeCache:
         )
         plan = self.get_plan(**fields)
         if plan is not None:
+            self._fire("plan_hit")
             return plan, True
+        self._fire("plan_miss")
         from ..perf.costmodel import rank_algorithms
 
         ranking = rank_algorithms(
@@ -172,12 +189,15 @@ class ServeCache:
         key = self.result_key(data, k, largest)
         entry = self.results.get(key)
         if entry is None:
+            self._fire("result_miss")
             return None
         values, indices, checksum = entry
         if self._checksum(values, indices) != checksum:
             self.corruptions += 1
             self.results._data.pop(key, None)  # repair: drop the bad entry
+            self._fire("result_corrupt")
             return None
+        self._fire("result_hit")
         return values, indices
 
     def put_result(

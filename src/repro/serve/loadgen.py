@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..bench.report import REPORT_QUANTILES, percentiles
+from ..bench.report import REPORT_QUANTILES
 from ..datagen import generate
 from .request import Request
 from .service import ServeConfig, ServeStats, TopKService
@@ -246,10 +246,10 @@ def run_serve_bench(
     requests = build_requests(spec)
     stats = service.run(requests)
     baseline = sequential_baseline(spec, config)
+    # histogram-backed once the sample cap truncated the raw list, exact
+    # order statistics otherwise (ServeStats.latency_percentiles)
     latency = (
-        percentiles(stats.latencies_s, REPORT_QUANTILES)
-        if stats.latencies_s
-        else {}
+        stats.latency_percentiles(REPORT_QUANTILES) if stats.answered else {}
     )
     return (
         ServeBenchReport(

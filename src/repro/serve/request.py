@@ -55,6 +55,10 @@ class Outcome:
     status: str
     #: virtual completion time (served), or the time the verdict was made
     finish_s: float
+    #: the request's virtual arrival time — lets telemetry attribute an
+    #: effective wait to non-served verdicts too (a timeout's
+    #: ``finish_s - arrival_s`` is how long the caller actually waited)
+    arrival_s: float | None = None
     #: completion - arrival, seconds; None unless served
     latency_s: float | None = None
     #: requests sharing the executed micro-batch (served only)

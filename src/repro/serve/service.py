@@ -39,7 +39,8 @@ import numpy as np
 
 from ..api import resolve_device, topk
 from ..faults import CircuitBreaker, FaultPlan, HedgePolicy, RetryPolicy
-from ..obs import get_metrics
+from ..obs import get_metrics, tracing_enabled
+from ..obs.serve import ServeTelemetry
 from .batcher import GroupKey, MicroBatcher
 from .cache import ServeCache
 from .request import Outcome, Request
@@ -79,6 +80,17 @@ class ServeConfig:
     seed: int = 0
     #: algorithm tuning params forwarded to the registry
     params: dict | None = None
+    #: windowed-telemetry bucket width, virtual seconds (the serve_report
+    #: time series resolution — docs/serving-observability.md)
+    window_s: float = 0.25
+    #: cap on the raw served-latency samples kept in ``ServeStats``; past
+    #: it the list stops growing and percentiles come from the bounded
+    #: latency histogram instead (``latency_truncated``).  None keeps
+    #: every sample.
+    latency_sample_cap: int | None = 65536
+    #: host threads for sharded execution's numpy fan-out; never changes
+    #: results or the serve report (pinned by tests/test_serve_obs.py)
+    workers: int = 1
     #: deterministic fault plan; None (and the empty plan) leaves every
     #: fault seam a strict no-op (docs/faults.md)
     faults: FaultPlan | None = None
@@ -134,8 +146,16 @@ class ServeStats:
     busy_s: float = 0.0
     #: virtual time the last event finished
     makespan_s: float = 0.0
-    #: served-request latencies, seconds (ordered by completion)
+    #: answered-request latencies, seconds (ordered by completion).  The
+    #: list stops growing at ``ServeConfig.latency_sample_cap``; after
+    #: that ``latency_truncated`` flips and quantiles come from
+    #: ``latency_hist``
     latencies_s: list = field(default_factory=list)
+    #: bounded latency histogram covering *every* answered request (the
+    #: run's :class:`~repro.obs.serve.ServeTelemetry` shares this object)
+    latency_hist: object = None
+    #: True once ``latencies_s`` hit the sample cap and stopped recording
+    latency_truncated: bool = False
     #: per-batch request counts
     occupancies: list = field(default_factory=list)
     cache: dict = field(default_factory=dict)
@@ -181,6 +201,23 @@ class ServeStats:
         executed = sum(self.occupancies)
         return executed / self.busy_s
 
+    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict:
+        """``{q: seconds}`` over answered requests (None values if none).
+
+        Exact order statistics while every sample was kept; once the
+        sample cap truncated ``latencies_s`` the estimates come from the
+        bounded histogram (16 buckets/decade — within ~7.5% of exact).
+        """
+        if self.latency_truncated and self.latency_hist is not None:
+            from ..obs.serve import histogram_quantile
+
+            return {q: histogram_quantile(self.latency_hist, q) for q in qs}
+        if not self.latencies_s:
+            return {q: None for q in qs}
+        from ..bench.report import percentiles
+
+        return percentiles(self.latencies_s, qs)
+
 
 class TopKService:
     """Discrete-event top-k serving node over the simulated device."""
@@ -220,11 +257,24 @@ class TopKService:
         )
         self.outcomes: list[Outcome] = []
         self.batch_records: list[BatchRecord] = []
-        self.stats = ServeStats()
+        #: windowed telemetry + request-span buffer; span recording is
+        #: locked to whether a tracing session is active *now* so a plain
+        #: run stays a strict no-op (pinned by tests/test_serve_obs.py)
+        self.telemetry = ServeTelemetry(
+            window_s=self.config.window_s, trace=tracing_enabled()
+        )
+        self.stats = ServeStats(latency_hist=self.telemetry.latency_hist)
         self._device_free_s = 0.0
         #: monotone batch sequence — namespaces fault draws per batch, so
         #: it must tick for failed batches too (they drew from the plan)
         self._batch_seq = 0
+        #: virtual "now" — the batcher/cache hooks carry no timestamp, so
+        #: the event loop keeps this current for them
+        self._now_s = 0.0
+        #: injector fault totals already folded into the windows
+        self._faults_seen: dict[str, int] = {}
+        self.batcher.observer = self._on_queue_event
+        self.cache.on_event = self._on_cache_event
 
     # -- metrics helpers ------------------------------------------------ #
     def _count(self, name: str, amount: float = 1.0, **labels) -> None:
@@ -232,15 +282,49 @@ class TopKService:
         if registry is not None:
             registry.counter(name, **labels).inc(amount)
 
-    def _observe(self, name: str, value: float, bounds) -> None:
+    def _observe(self, name: str, value: float, bounds, **labels) -> None:
         registry = get_metrics()
         if registry is not None:
-            registry.histogram(name, bounds=bounds).observe(value)
+            registry.histogram(name, bounds=bounds, **labels).observe(value)
 
     def _gauge(self, name: str, value: float) -> None:
         registry = get_metrics()
         if registry is not None:
             registry.gauge(name).set(value)
+
+    # -- telemetry hooks ------------------------------------------------- #
+    def _on_queue_event(self, event: str, key, pending: int) -> None:
+        """Batcher observer: queue depth at every admission and flush."""
+        self._gauge("serve.queue_depth", pending)
+        self.telemetry.on_queue_depth(self._now_s, pending)
+
+    def _on_cache_event(self, event: str) -> None:
+        """Cache hook: ``serve.cache`` metrics plus the windowed hit rate
+        (a corrupt read counts as a miss — it was not served)."""
+        self._count("serve.cache", event=event)
+        if event in ("result_hit", "result_miss", "result_corrupt"):
+            self.telemetry.on_cache_lookup(self._now_s, event == "result_hit")
+
+    def _drain_faults(self, t_s: float) -> dict[str, int]:
+        """New injector fault counts since the last drain, folded into
+        the telemetry windows; returns ``{kind: delta}`` so callers can
+        annotate the spans around the seam that just fired."""
+        if self.injector is None:
+            return {}
+        delta: dict[str, int] = {}
+        for kind, count in self.injector.fault_counts().items():
+            seen = self._faults_seen.get(kind, 0)
+            if count > seen:
+                delta[kind] = count - seen
+                self._faults_seen[kind] = count
+                self.telemetry.on_fault(t_s, kind, count - seen)
+        return delta
+
+    def telemetry_spans(self, base_us: float = 0.0):
+        """The run's virtual-time request/node spans re-based onto the
+        wall clock for trace export (same convention as
+        :func:`repro.device.timeline_spans`)."""
+        return self.telemetry.spans(base_us)
 
     # -- outcome bookkeeping -------------------------------------------- #
     def _finish(self, outcome: Outcome) -> Outcome:
@@ -248,9 +332,56 @@ class TopKService:
         setattr(self.stats, outcome.status, getattr(self.stats, outcome.status) + 1)
         self.stats.makespan_s = max(self.stats.makespan_s, outcome.finish_s)
         self._count("serve.requests", status=outcome.status)
+        self.telemetry.on_outcome(
+            outcome.status, outcome.finish_s, outcome.latency_s
+        )
+        # the status-labelled latency series also charges non-served
+        # verdicts with the time the caller actually waited
+        wait_s = outcome.latency_s
+        if wait_s is None and outcome.arrival_s is not None:
+            wait_s = outcome.finish_s - outcome.arrival_s
+        if wait_s is not None:
+            self._observe(
+                "serve.latency", wait_s, _LATENCY_BOUNDS, status=outcome.status
+            )
         if outcome.latency_s is not None:
-            self.stats.latencies_s.append(outcome.latency_s)
+            cap = self.config.latency_sample_cap
+            if cap is None or len(self.stats.latencies_s) < cap:
+                self.stats.latencies_s.append(outcome.latency_s)
+            else:
+                self.stats.latency_truncated = True
             self._observe("serve.latency", outcome.latency_s, _LATENCY_BOUNDS)
+        if self.telemetry.trace:
+            lane = self.telemetry.request_lane(outcome.rid)
+            self.telemetry.emit(
+                "finish",
+                cat="serve.request",
+                lane=lane,
+                ts_s=outcome.finish_s,
+                status=outcome.status,
+            )
+            args: dict = {"rid": outcome.rid, "status": outcome.status}
+            if outcome.latency_s is not None:
+                args["latency_s"] = outcome.latency_s
+            if outcome.cache_hit:
+                args["cache_hit"] = True
+            if outcome.recall_bound is not None:
+                args["recall_bound"] = outcome.recall_bound
+            if outcome.error:
+                args["error"] = outcome.error
+            start_s = (
+                outcome.arrival_s
+                if outcome.arrival_s is not None
+                else outcome.finish_s
+            )
+            self.telemetry.emit(
+                "request",
+                cat="serve.request",
+                lane=lane,
+                ts_s=start_s,
+                dur_s=outcome.finish_s - start_s,
+                **args,
+            )
         return outcome
 
     # -- admission ------------------------------------------------------ #
@@ -268,6 +399,13 @@ class TopKService:
         now_s = request.arrival_s
         if not self.breaker.allow(now_s):
             self._count("serve.breaker", event="bypass")
+            self.telemetry.on_breaker(now_s)
+            self.telemetry.emit(
+                "breaker_bypass",
+                cat="serve.fault",
+                lane=self.telemetry.request_lane(request.rid),
+                ts_s=now_s,
+            )
             return None
         if self.injector is not None and self.cache.result_key(
             request.data, request.k, request.largest
@@ -280,16 +418,26 @@ class TopKService:
         cached = self.cache.get_result(request.data, request.k, request.largest)
         if self.cache.corruptions > before:
             # checksum caught a corrupt entry: repaired (evicted) above,
-            # count it toward the breaker and report a miss
-            self._count("serve.cache", event="result_corrupt")
+            # count it toward the breaker and report a miss (the cache
+            # hook already counted the serve.cache result_corrupt event)
+            self._drain_faults(now_s)
+            self.telemetry.emit(
+                "fault:cache_corruption",
+                cat="serve.fault",
+                lane=self.telemetry.request_lane(request.rid),
+                ts_s=now_s,
+            )
             if self.breaker.record_failure(now_s):
                 self.stats.breaker_trips = self.breaker.trips
                 self._count("serve.breaker", event="open")
+                self.telemetry.on_breaker(now_s)
+                self.telemetry.emit(
+                    "breaker_open",
+                    cat="serve.fault",
+                    lane=self.telemetry.node_lane("cache"),
+                    ts_s=now_s,
+                )
             return None
-        self._count(
-            "serve.cache",
-            event="result_hit" if cached is not None else "result_miss",
-        )
         if cached is not None:
             self.breaker.record_success()
         return cached
@@ -301,16 +449,19 @@ class TopKService:
         result-cache hit; returns None when the request was queued.
         """
         cfg = self.config
+        self._now_s = request.arrival_s
         if request.deadline_s is None and cfg.default_deadline_s is not None:
             request.deadline_s = request.arrival_s + cfg.default_deadline_s
         cached = self._cached_result(request)
         if cached is not None:
             values, indices = cached
+            self._admission_span(request, "cache_hit")
             return self._finish(
                 Outcome(
                     rid=request.rid,
                     status="served",
                     finish_s=request.arrival_s,
+                    arrival_s=request.arrival_s,
                     latency_s=0.0,
                     batch_size=1,
                     algo="cache",
@@ -320,16 +471,32 @@ class TopKService:
                 )
             )
         if self.batcher.pending >= cfg.queue_limit:
+            self._admission_span(request, "shed")
+            # a shed admission leaves the queue untouched but is still a
+            # depth observation (the queue *was* full when we looked)
+            self._gauge("serve.queue_depth", self.batcher.pending)
+            self.telemetry.on_queue_depth(request.arrival_s, self.batcher.pending)
             return self._finish(
                 Outcome(
                     rid=request.rid,
                     status="shed",
                     finish_s=request.arrival_s,
+                    arrival_s=request.arrival_s,
                 )
             )
+        self._admission_span(request, "queued")
+        # the batcher observer emits the queue-depth gauge + window sample
         self.batcher.add(request)
-        self._gauge("serve.queue_depth", self.batcher.pending)
         return None
+
+    def _admission_span(self, request: Request, verdict: str) -> None:
+        self.telemetry.emit(
+            "admission",
+            cat="serve.admission",
+            lane=self.telemetry.request_lane(request.rid),
+            ts_s=request.arrival_s,
+            verdict=verdict,
+        )
 
     # -- execution ------------------------------------------------------ #
     def _run_batch(self, data, key: GroupKey, algo: str, batch_id: int):
@@ -369,6 +536,7 @@ class TopKService:
                         largest=key.largest,
                         seed=cfg.seed,
                         params=cfg.params,
+                        workers=cfg.workers,
                         injector=self.injector,
                         retry=self.retry,
                         hedge=self.hedge,
@@ -411,27 +579,31 @@ class TopKService:
         never silently dropped (the PR-4 regression pin).
         """
         cfg = self.config
+        self._now_s = max(self._now_s, trigger_s)
         batch = self.batcher.pop(key)
         start_s = max(trigger_s, self._device_free_s)
         alive = []
         for request in batch:
             if request.deadline_s is not None and request.deadline_s < start_s:
+                finish_s = min(request.deadline_s, start_s)
+                self._queued_span(request, finish_s)
                 self._finish(
                     Outcome(
                         rid=request.rid,
                         status="timeout",
-                        finish_s=min(request.deadline_s, start_s),
+                        finish_s=finish_s,
+                        arrival_s=request.arrival_s,
                     )
                 )
             else:
                 alive.append(request)
-        self._gauge("serve.queue_depth", self.batcher.pending)
         if not alive:
             return
 
         data = np.stack([r.data for r in alive])
         algo, plan_hit = cfg.algo, False
         if cfg.algo == "auto":
+            # the cache hook counts the serve.cache plan_hit/plan_miss
             plan, plan_hit = self.cache.make_plan(
                 n=key.n,
                 k=key.k,
@@ -440,41 +612,89 @@ class TopKService:
                 largest=key.largest,
             )
             algo = plan.algo
-            self._count(
-                "serve.cache", event="plan_hit" if plan_hit else "plan_miss"
-            )
         batch_id = self._batch_seq
         self._batch_seq += 1
         result, delay_s, attempts, error = self._run_batch(
             data, key, algo, batch_id
         )
         start_s += delay_s
+        duration_s = 0.0
+        hedges = 0
+        if result is not None:
+            duration_s = result.time
+            if self.injector is not None:
+                slow = self.injector.decide(
+                    "timeout", "serve.batch", f"batch={batch_id}"
+                )
+                if slow is not None:
+                    duration_s = duration_s * slow.factor
+            hedges = result.meta.get("hedges", 0)
+        # fold this batch's recovery activity into the telemetry windows
+        # and annotate the trace around the seams that fired
+        faults = self._drain_faults(start_s)
+        retries_paid = (attempts - 1) + (
+            result.meta.get("retries", 0) if result is not None else 0
+        )
+        if retries_paid:
+            self.telemetry.on_retry(start_s, retries_paid)
+        if hedges:
+            self.telemetry.on_hedge(start_s, hedges)
+        if self.telemetry.trace:
+            node = self.telemetry.node_lane("device")
+            for kind, fired in sorted(faults.items()):
+                self.telemetry.emit(
+                    f"fault:{kind}",
+                    cat="serve.fault",
+                    lane=node,
+                    ts_s=start_s,
+                    count=fired,
+                    batch_id=batch_id,
+                )
+            if retries_paid:
+                self.telemetry.emit(
+                    "retry",
+                    cat="serve.fault",
+                    lane=node,
+                    ts_s=start_s,
+                    count=retries_paid,
+                    batch_id=batch_id,
+                )
+            if hedges:
+                self.telemetry.emit(
+                    "hedge",
+                    cat="serve.fault",
+                    lane=node,
+                    ts_s=start_s,
+                    count=hedges,
+                    batch_id=batch_id,
+                )
         if result is None:
             # retries exhausted: fail every surviving request explicitly
             for request in alive:
+                self._queued_span(request, start_s)
                 self._finish(
                     Outcome(
                         rid=request.rid,
                         status="failed",
                         finish_s=start_s,
+                        arrival_s=request.arrival_s,
                         batch_size=len(alive),
                         error=error,
                     )
                 )
             return
-        duration_s = result.time
-        if self.injector is not None:
-            slow = self.injector.decide(
-                "timeout", "serve.batch", f"batch={batch_id}"
-            )
-            if slow is not None:
-                duration_s = duration_s * slow.factor
         finish_s = start_s + duration_s
         self._device_free_s = finish_s
+        self._now_s = max(self._now_s, finish_s)
         self.stats.batches += 1
         self.stats.busy_s += duration_s
         self.stats.occupancies.append(len(alive))
+        self.telemetry.on_batch(start_s, len(alive))
         self._observe("serve.batch_occupancy", len(alive), _OCCUPANCY_BOUNDS)
+        if self.telemetry.trace:
+            self._batch_spans(
+                alive, result, batch_id, attempts, start_s, finish_s, duration_s
+            )
         self.batch_records.append(
             BatchRecord(
                 batch_id=len(self.batch_records),
@@ -500,6 +720,7 @@ class TopKService:
                         rid=request.rid,
                         status="timeout",
                         finish_s=request.deadline_s,
+                        arrival_s=request.arrival_s,
                     )
                 )
                 continue
@@ -511,6 +732,7 @@ class TopKService:
                         rid=request.rid,
                         status="degraded",
                         finish_s=finish_s,
+                        arrival_s=request.arrival_s,
                         latency_s=finish_s - request.arrival_s,
                         batch_size=len(alive),
                         algo=result.algo,
@@ -529,6 +751,7 @@ class TopKService:
                     rid=request.rid,
                     status="served",
                     finish_s=finish_s,
+                    arrival_s=request.arrival_s,
                     latency_s=finish_s - request.arrival_s,
                     batch_size=len(alive),
                     algo=result.algo,
@@ -536,6 +759,89 @@ class TopKService:
                     indices=indices,
                 )
             )
+
+    # -- request-trace emission ------------------------------------------ #
+    def _queued_span(self, request: Request, until_s: float) -> None:
+        """The time one request sat in the micro-batcher's queue."""
+        self.telemetry.emit(
+            "queued",
+            cat="serve.queue",
+            lane=self.telemetry.request_lane(request.rid),
+            ts_s=request.arrival_s,
+            dur_s=max(0.0, until_s - request.arrival_s),
+        )
+
+    def _batch_spans(
+        self, alive, result, batch_id, attempts, start_s, finish_s, duration_s
+    ) -> None:
+        """Per-request batch/shard/merge spans plus the node-lane view of
+        one executed micro-batch (only called with tracing on)."""
+        telemetry = self.telemetry
+        shard_times = result.meta.get("shard_times_s") or {}
+        slowest = max(shard_times.values()) if shard_times else 0.0
+        node = telemetry.node_lane("device")
+        telemetry.emit(
+            "batch",
+            cat="serve.batch",
+            lane=node,
+            ts_s=start_s,
+            dur_s=duration_s,
+            batch_id=batch_id,
+            algo=result.algo,
+            size=len(alive),
+            attempts=attempts,
+        )
+        for shard_id, shard_s in sorted(shard_times.items()):
+            telemetry.emit(
+                "shard",
+                cat="serve.shard",
+                lane=telemetry.node_lane(f"shard{shard_id}"),
+                ts_s=start_s,
+                dur_s=shard_s,
+                batch_id=batch_id,
+                shard=shard_id,
+            )
+        for request in alive:
+            lane = telemetry.request_lane(request.rid)
+            self._queued_span(request, start_s)
+            telemetry.emit(
+                "batch",
+                cat="serve.batch",
+                lane=lane,
+                ts_s=start_s,
+                dur_s=duration_s,
+                batch_id=batch_id,
+                algo=result.algo,
+                size=len(alive),
+                attempts=attempts,
+            )
+            if shard_times:
+                telemetry.emit(
+                    "shards",
+                    cat="serve.shard",
+                    lane=lane,
+                    ts_s=start_s,
+                    dur_s=slowest,
+                    shards=len(shard_times),
+                    lost=len(result.meta.get("lost_shards", ())),
+                )
+                telemetry.emit(
+                    "merge",
+                    cat="serve.merge",
+                    lane=lane,
+                    ts_s=start_s + slowest,
+                    dur_s=max(0.0, finish_s - (start_s + slowest)),
+                    merge_s=result.meta.get("merge_s"),
+                )
+            else:
+                telemetry.emit(
+                    "execute",
+                    cat="serve.batch",
+                    lane=lane,
+                    ts_s=start_s,
+                    dur_s=duration_s,
+                    algo=result.algo,
+                )
 
     # -- the event loop -------------------------------------------------- #
     def run(self, requests: list[Request]) -> ServeStats:
@@ -559,6 +865,9 @@ class TopKService:
                 self._execute(key, deadline)
         self.stats.cache = self.cache.stats()
         if self.injector is not None:
+            # catch any seam that fired after the last per-batch drain so
+            # the windowed fault totals match the injector's
+            self._drain_faults(self.stats.makespan_s)
             self.stats.faults = self.injector.fault_counts()
             for kind, count in self.stats.faults.items():
                 self._count("serve.faults", amount=count, kind=kind)

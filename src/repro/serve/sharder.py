@@ -229,6 +229,9 @@ def sharded_topk(
             span_args={"level": level, "candidates": merged, "batch": batch},
         )
     coordinator.synchronize("sync_result")
+    # merge + sync cost = everything the coordinator paid past the
+    # slowest shard; exported so request traces can split the span
+    merge_s = max(0.0, float(coordinator.elapsed) - float(slowest))
 
     degraded = bool(lost)
     bound = None
@@ -238,7 +241,15 @@ def sharded_topk(
     meta: dict = {
         "batched_execution": bool(
             getattr(get_algorithm(algo, params=params), "batched_execution", False)
-        )
+        ),
+        # per-surviving-shard effective times (post retry/straggler/hedge)
+        # keyed by shard id, plus the merge-tree tail — the trace lanes
+        # reconstruct the fan-out/fan-in shape from these
+        "shard_times_s": {
+            shard_id: float(t)
+            for (shard_id, _), t in zip(survivors, effective_times)
+        },
+        "merge_s": merge_s,
     }
     if injector is not None:
         meta.update(retries=retries_total, hedges=hedges, shards_lost=len(lost))

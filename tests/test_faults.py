@@ -336,9 +336,13 @@ class TestShardedFaults:
         a = sharded_topk(data, 64, shards=4, algo="sort")
         b = sharded_topk(data, 64, shards=4, algo="sort")
         # fault seams contribute nothing: identical deterministic runs, and
-        # meta carries only the launch-regime flag, no fault accounting
+        # meta carries only the launch-regime flag plus the always-present
+        # timing breakdown — no fault accounting keys
         assert a.time == b.time
-        assert a.meta == {"batched_execution": False} == b.meta
+        assert a.meta == b.meta
+        assert set(a.meta) == {"batched_execution", "shard_times_s", "merge_s"}
+        assert a.meta["batched_execution"] is False
+        assert set(a.meta["shard_times_s"]) == {0, 1, 2, 3}
         assert np.array_equal(a.values, b.values)
 
 

@@ -426,6 +426,95 @@ class TestTopKService:
         gauges = {g["name"] for g in payload["gauges"]}
         assert "serve.queue_depth" in gauges
 
+    def test_latency_histogram_labelled_by_status(self):
+        """serve.latency gets a per-status series *alongside* the
+        unlabelled one, so existing dashboards keep working."""
+        from repro.obs import metrics_session
+
+        config = ServeConfig(algo="sort", max_batch=100, max_delay_s=1.0,
+                             queue_limit=3, result_cache=0)
+        with metrics_session() as registry:
+            service = TopKService(config)
+            stats = service.run(
+                [make_request(i, 0.0, n=128) for i in range(8)]
+            )
+        assert stats.served == 3 and stats.shed == 5
+        series = {
+            tuple(sorted(h["labels"].items())): h["count"]
+            for h in registry.to_payload()["histograms"]
+            if h["name"] == "serve.latency"
+        }
+        # backward compat: the unlabelled series is untouched — it still
+        # records only real service latencies (served/degraded), while the
+        # labelled series cover every terminal status via waiting time
+        assert series[()] == 3
+        assert series[(("status", "served"),)] == 3
+        assert series[(("status", "shed"),)] == 5
+
+    def test_queue_depth_sampled_on_admission_and_flush(self):
+        """The batcher observer fires at every add/pop/drop, so both the
+        gauge and the windowed series see each queue transition."""
+        from repro.obs import metrics_session
+
+        events = []
+        with metrics_session() as registry:
+            service = TopKService(ServeConfig(**SMALL))
+            inner = service.batcher.observer
+
+            def spy(event, key, pending):
+                events.append((event, pending))
+                inner(event, key, pending)
+
+            service.batcher.observer = spy
+            service.run([make_request(i, i * 0.001, n=256) for i in range(9)])
+        adds = [p for e, p in events if e == "add"]
+        pops = [p for e, p in events if e == "pop"]
+        assert len(adds) == 9  # one admission sample per queued request
+        assert pops and all(p == 0 for p in pops)  # flush drains the group
+        # every observer event landed in the windowed telemetry too
+        samples = sum(
+            w.queue_depth_samples for w in service.telemetry.windows.values()
+        )
+        assert samples == len(events)
+        assert max(
+            w.queue_depth_max for w in service.telemetry.windows.values()
+        ) == max(p for _e, p in events)
+        gauges = {g["name"] for g in registry.to_payload()["gauges"]}
+        assert "serve.queue_depth" in gauges
+
+    def test_latency_sample_cap_switches_to_histogram(self):
+        """Satellite 6: latencies_s stops growing at the cap and the
+        percentile helper falls back to the windowed histogram."""
+        service = TopKService(ServeConfig(latency_sample_cap=4, **SMALL))
+        stats = service.run(
+            [make_request(i, i * 0.001, n=256) for i in range(12)]
+        )
+        assert stats.served == 12
+        assert len(stats.latencies_s) == 4  # capped, not unbounded
+        assert stats.latency_truncated is True
+        exact = sorted(
+            o.latency_s for o in service.outcomes if o.latency_s is not None
+        )
+        est = stats.latency_percentiles((50.0, 95.0, 99.0))
+        # estimates come from the full-run histogram, not the truncated
+        # raw list: monotone, clamped to the true range, p99 near the max
+        assert est[50.0] <= est[95.0] <= est[99.0]
+        for value in est.values():
+            assert exact[0] <= value <= exact[-1]
+        assert est[99.0] == pytest.approx(exact[-1], rel=0.16)
+
+    def test_latency_uncapped_percentiles_are_exact(self):
+        service = TopKService(ServeConfig(**SMALL))
+        stats = service.run(
+            [make_request(i, i * 0.001, n=256) for i in range(6)]
+        )
+        assert stats.latency_truncated is False
+        from repro.bench.report import percentiles
+
+        assert stats.latency_percentiles((50.0, 99.0)) == percentiles(
+            stats.latencies_s, (50.0, 99.0)
+        )
+
 
 # --------------------------------------------------------------------------- #
 # load generator + acceptance pin
