@@ -21,6 +21,12 @@ For serving many concurrent queries (micro-batching, sharding, caching,
 backpressure) see :mod:`repro.serve`; for deterministic fault injection
 and the recovery policies the serving layer is hardened with, see
 :mod:`repro.faults` and docs/faults.md.
+
+v2.1 adds an approximate tier (docs/approximate.md): ``topk(...,
+mode="approx")`` or ``topk(..., min_recall=0.95)`` opt into the
+partition-based approximate methods, dispatched by the quality-aware
+planner in :mod:`repro.approx`.  Results carry ``exact`` and
+``recall_bound`` so callers can always tell what they got.
 """
 
 from __future__ import annotations
@@ -35,15 +41,20 @@ from .algos import (
     get_algorithm,
 )
 from .api import select_k, topk
+from .approx import QualityPlan, choose_plan, expected_recall, recall_floor
 from .core import AIRTopK, GridSelect, GridSelectStream
 from .device import A10, A100, H100, Device, GPUSpec, get_spec
 from .verify import check_topk, oracle_topk_values
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "topk",
     "select_k",
+    "QualityPlan",
+    "choose_plan",
+    "expected_recall",
+    "recall_floor",
     "AlgorithmInfo",
     "TopKAlgorithm",
     "TopKResult",

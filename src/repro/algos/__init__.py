@@ -16,6 +16,9 @@ from .quick_select import QuickSelect
 from .bucket_select import BucketSelect
 from .sample_select import SampleSelect
 from .hybrid import DrTopKHybrid
+from .approx_base import PartitionApproxTopK
+from .bucket_approx import BucketApproxTopK
+from .twostage_approx import TwoStageApproxTopK
 
 __all__ = [
     "AutoTopK",
@@ -36,4 +39,7 @@ __all__ = [
     "BucketSelect",
     "SampleSelect",
     "DrTopKHybrid",
+    "PartitionApproxTopK",
+    "BucketApproxTopK",
+    "TwoStageApproxTopK",
 ]

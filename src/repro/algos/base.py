@@ -69,16 +69,31 @@ class TopKResult:
     #: and the result is the exact top-k of the *surviving* data only —
     #: see docs/faults.md for the degraded-result contract
     degraded: bool = False
-    #: the high-probability recall floor a degraded result guarantees
-    #: against the full-data ground truth; None for full-fidelity results
+    #: the high-probability recall floor an approximate or degraded result
+    #: guarantees against the full-data ground truth; None for exact results
     recall_bound: float | None = None
-    #: recovery bookkeeping (shards_lost, coverage, retries, hedges, ...)
+    #: False for results that are not guaranteed to equal the exact top-k:
+    #: approximate-tier selections and degraded (shard-loss) results.  Such
+    #: results always carry a ``recall_bound``
+    exact: bool = True
+    #: recovery/approximation bookkeeping (shards_lost, coverage, retries,
+    #: hedges, expected_recall, partitions, ...)
     meta: dict = field(default_factory=dict)
 
     @property
     def time(self) -> float:
         """Simulated wall-clock time of the run, seconds."""
         return self.device.elapsed
+
+    def __iter__(self):
+        """v2.1 results still unpack as the historical 2-tuple.
+
+        ``values, indices = repro.topk(...)`` keeps working; the richer
+        fields (``exact``, ``recall_bound``, ``algo``, ``time``, ``meta``)
+        are attribute access only.
+        """
+        yield self.values
+        yield self.indices
 
 
 class UnsupportedProblem(ValueError):
@@ -105,6 +120,13 @@ class TopKAlgorithm(abc.ABC):
     #: whether a batch is solved by one launch set (device-resident batching)
     #: or serially per problem (the host-coordinated reference codes)
     batched_execution: bool = True
+    #: whether results are guaranteed to equal the exact top-k; the
+    #: approximate tier (repro.approx) sets this False and annotates every
+    #: result with its analytic recall contract via :meth:`_finalize`
+    exact: bool = True
+    #: name of the analytic recall model backing non-exact results
+    #: (``None`` for exact algorithms)
+    recall_model: str | None = None
 
     def supports(self, n: int, k: int) -> str | None:
         """None if the problem is supported, else a human-readable reason."""
@@ -182,7 +204,19 @@ class TopKAlgorithm(abc.ABC):
         if squeeze:
             values = values[0]
             idx = idx[0]
-        return TopKResult(values=values, indices=idx, algo=self.name, device=device)
+        result = TopKResult(
+            values=values, indices=idx, algo=self.name, device=device
+        )
+        return self._finalize(result, n=nominal_n, k=nominal_k)
+
+    def _finalize(self, result: TopKResult, *, n: int, k: int) -> TopKResult:
+        """Attach fidelity metadata before the result leaves :meth:`select`.
+
+        The exact algorithms return the result untouched; the approximate
+        tier overrides this to set ``exact=False`` and the analytic recall
+        contract (``recall_bound``, ``meta['expected_recall']``).
+        """
+        return result
 
     @abc.abstractmethod
     def _run(self, ctx: RunContext) -> tuple[np.ndarray, np.ndarray]:

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field
 
 from .auto import AutoTopK
 from .base import TopKAlgorithm
+from .bucket_approx import BucketApproxTopK
 from .hybrid import DrTopKHybrid
+from .twostage_approx import TwoStageApproxTopK
 from .sort_topk import SortTopK
 from .radix_select import RadixSelect
 from .warp_select import BlockSelect, WarpSelect
@@ -71,6 +73,11 @@ class AlgorithmInfo:
     dtypes: tuple[str, ...] = SUPPORTED_DTYPES
     #: names of the constructor's tuning parameters (valid ``params`` keys)
     tunables: tuple[str, ...] = field(default_factory=tuple)
+    #: whether results are guaranteed to equal the exact top-k; the
+    #: approximate tier trades bounded recall for parallelism instead
+    exact: bool = True
+    #: analytic recall model backing non-exact results (None when exact)
+    recall_model: str | None = None
 
 
 def _register(factory) -> None:
@@ -104,6 +111,8 @@ def _info(name: str) -> AlgorithmInfo:
         batched_execution=instance.batched_execution,
         on_the_fly=instance.on_the_fly,
         tunables=_tunables(_FACTORIES[name]),
+        exact=instance.exact,
+        recall_model=instance.recall_model,
     )
 
 
@@ -169,5 +178,7 @@ for _factory in (
     QuickSelect,
     BucketSelect,
     SampleSelect,
+    BucketApproxTopK,
+    TwoStageApproxTopK,
 ):
     _register(_factory)

@@ -6,10 +6,18 @@ funnels through :func:`topk`.  It replaces the v1 pair of ``topk``
 ``select_k`` (RAFT-style tuple wrapper) with a single signature::
 
     repro.topk(data, k, *, algo="auto", device=A100, largest=False,
-               batch=None, seed=0, params=None)
+               batch=None, seed=0, params=None,
+               mode="auto", min_recall=None)
 
 * ``algo`` defaults to the cost-model ``auto`` dispatcher, so a bare
   call picks the predicted-fastest method for the problem shape;
+* ``mode`` and ``min_recall`` (v2.1) opt into the approximate tier:
+  ``mode="approx"`` restricts dispatch to approximate methods,
+  ``min_recall=`` sets the recall target the quality-aware planner must
+  clear, and ``mode="exact"`` asserts the exact tier (rejecting
+  approximate ``algo`` names).  A bare call never returns an
+  approximate result — ``mode="auto"`` without ``min_recall`` is the
+  v2.0 exact path, byte for byte;
 * ``device`` accepts a preset name (``"A100"``), a :class:`GPUSpec`, or
   an existing :class:`Device` to account the run against — no separate
   ``spec`` argument;
@@ -68,6 +76,8 @@ def topk(
     batch: int | None = None,
     seed: int = 0,
     params: dict | None = None,
+    mode: str = "auto",
+    min_recall: float | None = None,
     spec: GPUSpec | None = None,
     **legacy_kwargs,
 ) -> TopKResult:
@@ -101,11 +111,27 @@ def topk(
         algorithm-specific tuning dict, e.g. ``{"adaptive": False}`` for
         AIR Top-K — the keys are the ``tunables`` of the method's
         :class:`~repro.algos.AlgorithmInfo`.
+    mode:
+        ``"auto"`` (default) runs exact methods unless ``min_recall``
+        opts into quality-aware dispatch; ``"exact"`` asserts the exact
+        tier and rejects approximate ``algo`` names; ``"approx"``
+        restricts dispatch to the approximate tier (raising when no
+        approximate plan can meet ``min_recall``).
+    min_recall:
+        recall target in [0, 1].  With ``algo="auto"`` the quality-aware
+        planner (:func:`repro.approx.choose_plan`) picks the cheapest
+        plan clearing the target with a safety margin, falling back to
+        exact when no approximate plan qualifies; with an explicit
+        approximate ``algo`` the call is rejected when the method's
+        analytic expected recall cannot clear the target.
 
     Returns
     -------
-    TopKResult with ``values`` and ``indices`` sorted best-first, and the
-    simulated ``device`` carrying the run's time, counters and trace.
+    TopKResult with ``values`` and ``indices`` sorted best-first, the
+    simulated ``device`` carrying the run's time, counters and trace,
+    and the v2.1 quality fields: ``exact``, ``recall_bound`` and the
+    per-method ``meta``.  The result still unpacks as a
+    ``(values, indices)`` 2-tuple.
     """
     if spec is not None:
         warnings.warn(
@@ -147,10 +173,94 @@ def topk(
             )
 
     run_device, run_spec = resolve_device(device)
+    algo, params, dispatch = _plan_quality(
+        data, k, algo=algo, params=params, mode=mode, min_recall=min_recall,
+        spec=run_spec,
+    )
     algorithm = get_algorithm(algo, params=params)
-    return algorithm.select(
+    result = algorithm.select(
         data, k, device=run_device, spec=run_spec, largest=largest, seed=seed
     )
+    if dispatch is not None:
+        result.meta["dispatch"] = dispatch
+    return result
+
+
+def _plan_quality(
+    data: np.ndarray,
+    k: int,
+    *,
+    algo: str,
+    params: dict | None,
+    mode: str,
+    min_recall: float | None,
+    spec: GPUSpec,
+) -> tuple[str, dict | None, dict | None]:
+    """Resolve the v2.1 quality keywords to a concrete (algo, params).
+
+    Returns ``(algo, params, dispatch_meta)`` where ``dispatch_meta`` is
+    the annotation attached to ``result.meta["dispatch"]`` when the
+    quality-aware planner made the choice, else None.  The fast path —
+    ``mode="auto"`` without ``min_recall`` — returns the arguments
+    untouched, keeping the default facade byte-identical to v2.0.
+    """
+    if mode not in ("auto", "exact", "approx"):
+        raise ValueError(
+            f"mode must be 'auto', 'exact' or 'approx', got {mode!r}"
+        )
+    if min_recall is not None and not 0.0 <= min_recall <= 1.0:
+        raise ValueError(f"min_recall must be in [0, 1], got {min_recall!r}")
+    if mode == "exact":
+        if min_recall is not None:
+            raise ValueError(
+                "min_recall conflicts with mode='exact': exact results "
+                "always have recall 1.0 — drop one of the two"
+            )
+        if algo != "auto" and not get_algorithm(algo, params=params).exact:
+            raise ValueError(
+                f"mode='exact' conflicts with approximate algo={algo!r}"
+            )
+        return algo, params, None
+    if mode == "auto" and min_recall is None:
+        return algo, params, None  # v2.0 path, untouched
+
+    from .approx import choose_plan  # lazy: planner imports the cost model
+
+    n = int(data.shape[-1])
+    rows = int(data.shape[0]) if data.ndim == 2 else 1
+    if algo == "auto":
+        plan = choose_plan(
+            n=n,
+            k=k,
+            batch=rows,
+            spec=spec,
+            min_recall=min_recall,
+            include_exact=(mode != "approx"),
+        )
+        merged = {**plan.params, **(params or {})}
+        dispatch = {
+            "mode": mode,
+            "min_recall": min_recall,
+            "algo": plan.algo,
+            "predicted_time": plan.predicted_time,
+            "predicted_recall": plan.predicted_recall,
+        }
+        return plan.algo, merged or None, dispatch
+    instance = get_algorithm(algo, params=params)
+    if mode == "approx" and instance.exact:
+        raise ValueError(
+            f"mode='approx' conflicts with exact algo={algo!r}"
+        )
+    if min_recall is not None and not instance.exact:
+        required = 1.0 - (1.0 - min_recall) / 2.0
+        expected = instance.expected_recall(n, k)
+        if expected < required:
+            raise ValueError(
+                f"algo={algo!r} has expected recall {expected:.4f} for "
+                f"n={n}, k={k}, below the min_recall={min_recall} target "
+                f"(safety-margin threshold {required:.4f})"
+            )
+    return algo, params, None
 
 
 def select_k(

@@ -7,6 +7,7 @@ Examples::
     python -m repro sweep --vary n --k 256 --points 2^12:2^26 --workers 4
     python -m repro sweep --workers 4 --trace out.json --metrics metrics.json
     python -m repro auto --n 2^24 --k 1024
+    python -m repro recall-bench --out recall_bench.json
     python -m repro drift results.csv
     python -m repro inspect out/manifest.json
     python -m repro table2
@@ -290,6 +291,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
+        "--min-recall",
+        type=float,
+        default=None,
+        metavar="R",
+        help="recall target in (0, 1] attached to requests; targeted "
+        "traffic may be served by the approximate tier when the "
+        "quality-aware planner predicts the target is met "
+        "(see docs/approximate.md)",
+    )
+    p_serve.add_argument(
+        "--approx-fraction",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="fraction of requests carrying the --min-recall target "
+        "(the rest stay exact); only meaningful with --min-recall",
+    )
+    p_serve.add_argument(
         "--faults",
         default=None,
         metavar="PLAN.json",
@@ -406,6 +425,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the reduced smoke grid instead of the pinned grid",
     )
     add_logging(p_pg)
+
+    p_rb = sub.add_parser(
+        "recall-bench",
+        help="Pareto sweep of the approximate tier (recall vs simulated "
+        "time vs QPS per pinned regime) plus a mixed-load serving run; "
+        "gates empirical recall against the promised floors and the "
+        "acceptance regime's speedup headline",
+    )
+    p_rb.add_argument(
+        "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+    )
+    p_rb.add_argument("--seed", type=int, default=0)
+    p_rb.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the repro.bench.recall/v1 snapshot JSON here",
+    )
+    p_rb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the reduced smoke grid instead of the pinned regimes "
+        "(skips the acceptance-speedup gate)",
+    )
+    p_rb.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the mixed-load serving gate (offline sweep only)",
+    )
+    p_rb.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and report without gating",
+    )
+    add_logging(p_rb)
 
     p_ins = sub.add_parser(
         "inspect",
@@ -830,6 +884,8 @@ def cmd_serve_bench(args) -> int:
         arrival=args.arrival,
         payload_pool=args.pool,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
+        min_recall=args.min_recall,
+        approx_fraction=args.approx_fraction if args.min_recall else 0.0,
         seed=args.seed,
     )
     config = ServeConfig(
@@ -881,6 +937,14 @@ def cmd_serve_bench(args) -> int:
                 "gpu": args.gpu,
                 "shards": args.shards,
                 "seed": args.seed,
+                **(
+                    {
+                        "min_recall": args.min_recall,
+                        "approx_fraction": args.approx_fraction,
+                    }
+                    if args.min_recall is not None
+                    else {}
+                ),
             },
             slos=slos,
         )
@@ -946,6 +1010,18 @@ def cmd_serve_bench(args) -> int:
                 "served": report.stats.served,
                 "shed": report.stats.shed,
                 "timeout": report.stats.timeout,
+                # quality accounting appears only for mixed-load runs so
+                # exact-only manifests keep their earlier shape
+                **(
+                    {
+                        "min_recall": args.min_recall,
+                        "approx_fraction": args.approx_fraction,
+                        "approx_served": report.stats.approx_served,
+                        "recall_violations": report.stats.recall_violations,
+                    }
+                    if args.min_recall is not None
+                    else {}
+                ),
                 # availability accounting appears only for fault runs so
                 # fault-free manifests keep their PR-3 shape
                 **(
@@ -1134,6 +1210,55 @@ def cmd_perf_bench(args) -> int:
     return 0
 
 
+def cmd_recall_bench(args) -> int:
+    from .bench import recallbench
+
+    regimes = (
+        recallbench.TINY_REGIMES if args.tiny else recallbench.DEFAULT_REGIMES
+    )
+    logger.info(
+        "recall-bench: %d regimes x %d configs%s",
+        len(regimes),
+        len(recallbench.APPROX_VARIANTS),
+        "" if args.no_serve else " + mixed-load serve gate",
+    )
+
+    def show(cell, entry) -> None:
+        logger.info(
+            "%s n=%d k=%d batch=%d %s: sim %s (%.2fx) empirical recall %.4f",
+            entry["algo"],
+            cell.n,
+            cell.k,
+            cell.batch,
+            entry["label"],
+            format_time(entry["sim_time_s"]),
+            entry["speedup"],
+            entry["empirical_recall"],
+        )
+
+    snapshot = recallbench.collect_snapshot(
+        regimes,
+        gpu=args.gpu,
+        seed=args.seed,
+        serve=not args.no_serve,
+        progress=show,
+    )
+    print(recallbench.render_recall_report(snapshot))
+    if args.out:
+        path = recallbench.write_snapshot(snapshot, args.out)
+        print(f"snapshot: {path}")
+    if args.no_gate:
+        return 0
+    failures = recallbench.gate_recall(snapshot)
+    for line in failures:
+        print(f"GATE FAIL: {line}")
+    if failures:
+        logger.error("%d recall-gate failure(s)", len(failures))
+        return 1
+    print("recall gate: ok")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     path = Path(args.path)
     if path.suffix == ".csv":
@@ -1211,6 +1336,18 @@ def cmd_inspect(args) -> int:
         ]
         print(format_table(["field", "value"], rows))
         return 0
+    if schema == "repro.bench.recall/v1":
+        from .bench.recallbench import SNAPSHOT_SCHEMA, gate_recall
+
+        obs.schema.validate(payload, SNAPSHOT_SCHEMA)
+        failures = gate_recall(payload)
+        points = sum(len(c["points"]) for c in payload["cells"])
+        print(
+            f"{path}: valid recall-bench snapshot "
+            f"({len(payload['cells'])} regimes, {points} points, "
+            f"gate {'FAIL' if failures else 'ok'})"
+        )
+        return 0
     if schema == "repro.obs.slo/v1":
         obs.validate_slo_spec(payload)
         print(f"{path}: valid SLO spec ({len(payload['slos'])} objectives)")
@@ -1257,6 +1394,7 @@ COMMANDS = {
     "serve-report": cmd_serve_report,
     "drift": cmd_drift,
     "perf-bench": cmd_perf_bench,
+    "recall-bench": cmd_recall_bench,
     "inspect": cmd_inspect,
 }
 

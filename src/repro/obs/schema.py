@@ -194,7 +194,7 @@ SLO_SPEC_SCHEMA = {
                 "required": ["name", "kind", "target"],
                 "properties": {
                     "name": {"type": "string"},
-                    "kind": {"enum": ["availability", "latency"]},
+                    "kind": {"enum": ["availability", "latency", "recall"]},
                     "target": {"type": "number"},
                     "threshold_s": {"type": "number"},
                 },
@@ -253,6 +253,9 @@ _SERVE_WINDOW_SCHEMA = {
         "retries": {"type": "integer"},
         "hedges": {"type": "integer"},
         "breaker": {"type": "integer"},
+        "approx": {"type": "integer"},
+        "recall_requests": {"type": "integer"},
+        "recall_met": {"type": "integer"},
     },
 }
 
@@ -305,6 +308,8 @@ SERVE_REPORT_SCHEMA = {
                 "makespan_s": {"type": "number"},
                 "latency_truncated": {"type": "boolean"},
                 "faults": {"type": "object"},
+                "approx_served": {"type": "integer"},
+                "recall_violations": {"type": "integer"},
             },
         },
         "slos": {
@@ -324,7 +329,7 @@ SERVE_REPORT_SCHEMA = {
                 ],
                 "properties": {
                     "name": {"type": "string"},
-                    "kind": {"enum": ["availability", "latency"]},
+                    "kind": {"enum": ["availability", "latency", "recall"]},
                     "target": {"type": "number"},
                     "sli": {"type": "number"},
                     "violated": {"type": "boolean"},

@@ -54,7 +54,7 @@ WINDOW_QUANTILES = (50.0, 95.0, 99.0)
 REQUEST_PROCESS = "serve:req"
 NODE_PROCESS = "serve:node"
 
-SLO_KINDS = ("availability", "latency")
+SLO_KINDS = ("availability", "latency", "recall")
 
 
 # --------------------------------------------------------------------------- #
@@ -149,6 +149,13 @@ class WindowAccum:
     retries: int = 0
     hedges: int = 0
     breaker: int = 0
+    #: answered outcomes served by the approximate tier (exact=False)
+    approx: int = 0
+    #: outcomes that carried a ``min_recall`` target, and how many of
+    #: them were served by a plan meeting it — the "recall" SLO's
+    #: good/total events
+    recall_requests: int = 0
+    recall_met: int = 0
 
     @property
     def requests(self) -> int:
@@ -198,9 +205,24 @@ class ServeTelemetry:
             self.windows[index] = accum
         return accum
 
-    def on_outcome(self, status: str, finish_s: float, latency_s: float | None) -> None:
+    def on_outcome(
+        self,
+        status: str,
+        finish_s: float,
+        latency_s: float | None,
+        *,
+        exact: bool = True,
+        recall_target: bool = False,
+        recall_met: bool = True,
+    ) -> None:
         accum = self.window(finish_s)
         setattr(accum, status, getattr(accum, status) + 1)
+        if status in ("served", "degraded") and not exact:
+            accum.approx += 1
+        if recall_target:
+            accum.recall_requests += 1
+            if recall_met:
+                accum.recall_met += 1
         if latency_s is not None:
             accum.latency.observe(latency_s)
             self.latency_hist.observe(latency_s)
@@ -304,9 +326,12 @@ class SLOSpec:
     ``kind="availability"``: the fraction of requests answered (served or
     degraded) must reach ``target``.  ``kind="latency"``: the fraction of
     requests answered within ``threshold_s`` must reach ``target``
-    (shed/timeout/failed requests count against it).  ``target`` is an
-    open fraction in (0, 1) so the error budget ``1 - target`` is never
-    zero and burn rates stay finite.
+    (shed/timeout/failed requests count against it).  ``kind="recall"``:
+    among requests that carried a ``min_recall`` target, the fraction
+    answered by a plan meeting it must reach ``target`` — threshold-free,
+    and vacuously satisfied in windows with no recall-targeted traffic.
+    ``target`` is an open fraction in (0, 1) so the error budget
+    ``1 - target`` is never zero and burn rates stay finite.
     """
 
     name: str
@@ -355,7 +380,15 @@ def load_slo_specs(path) -> tuple[SLOSpec, ...]:
 
 
 def _good_bad(accum: WindowAccum, slo: SLOSpec) -> tuple[float, float]:
-    """(good, bad) event counts of one window under one SLO."""
+    """(good, bad) event counts of one window under one SLO.
+
+    Availability and latency SLOs count every request; the recall SLO
+    counts only requests that carried a ``min_recall`` target, so the
+    two populations (and their totals) differ.
+    """
+    if slo.kind == "recall":
+        good = float(accum.recall_met)
+        return good, float(accum.recall_requests) - good
     total = accum.requests
     if slo.kind == "availability":
         good = float(accum.answered)
@@ -383,11 +416,11 @@ def evaluate_slos(
         total = 0
         budget = 1.0 - slo.target
         for accum in accums:
-            count = accum.requests
-            if count == 0:
+            good, bad = _good_bad(accum, slo)
+            count = good + bad
+            if count <= 0:
                 burn_rates.append(0.0)
                 continue
-            good, bad = _good_bad(accum, slo)
             good_total += good
             total += count
             burn_rates.append((bad / count) / budget)
@@ -454,6 +487,9 @@ def _window_payload(accum: WindowAccum, window_s: float) -> dict:
         "retries": accum.retries,
         "hedges": accum.hedges,
         "breaker": accum.breaker,
+        "approx": accum.approx,
+        "recall_requests": accum.recall_requests,
+        "recall_met": accum.recall_met,
     }
 
 
@@ -508,6 +544,8 @@ def build_serve_report(
         "retries": stats.retries,
         "hedges": stats.hedges,
         "breaker_trips": stats.breaker_trips,
+        "approx_served": stats.approx_served,
+        "recall_violations": stats.recall_violations,
     }
     slo_results = evaluate_slos(accums, slos)
     report = {
@@ -571,6 +609,11 @@ def render_serve_report(report: dict) -> str:
         lines.append(
             f"  faults: {fired}  retries={totals['retries']} "
             f"hedges={totals['hedges']} breaker_trips={totals['breaker_trips']}"
+        )
+    if totals.get("approx_served") or totals.get("recall_violations"):
+        lines.append(
+            f"  quality: approx_served={totals['approx_served']} "
+            f"recall_violations={totals['recall_violations']}"
         )
 
     def series(key) -> list:

@@ -168,7 +168,10 @@ class KernelCostModel:
 # microseconds (see tests/test_costmodel.py and the differential suite).
 # --------------------------------------------------------------------------
 
-#: algorithms the analytic predictor understands
+#: exact algorithms the analytic predictor understands.  The ``auto``
+#: dispatcher draws its candidates from this tuple, so it must stay
+#: exact-only: a plain ``repro.topk()`` call must never be silently
+#: served an approximate result
 PREDICTABLE_ALGORITHMS = (
     "air_topk",
     "grid_select",
@@ -181,6 +184,14 @@ PREDICTABLE_ALGORITHMS = (
     "bucket_select",
     "sample_select",
     "drtopk_hybrid",
+)
+
+#: approximate-tier algorithms the predictor also understands; only the
+#: quality-aware dispatch (repro.approx.planner) ranks these, and only
+#: when the caller opted in via ``mode=`` / ``min_recall=``
+APPROX_ALGORITHMS = (
+    "bucket_approx",
+    "twostage_approx",
 )
 
 
@@ -577,6 +588,52 @@ def _predict_drtopk_hybrid(
     return batch * per_row
 
 
+def _predict_partition_approx(
+    model: KernelCostModel, spec, n: int, k: int, batch: int, parts: int, keep: int
+) -> float:
+    """Shared shape of the approximate tier (repro.algos.approx_base).
+
+    One coalesced streaming pass maintaining per-partition best-``keep``
+    queues, then one survivor-merge launch — no host round trip between
+    the stages; the workloads come from the same helpers the simulated
+    kernels charge, so prediction tracks execution by construction.
+    """
+    from ..approx import (  # lazy: approx imports this module's package
+        APPROX_WARP_EFFICIENCY,
+        stage1_workload,
+        stage2_workload,
+    )
+
+    t = model.price(
+        _stream_shape(spec, n * batch),
+        warp_efficiency=APPROX_WARP_EFFICIENCY,
+        **stage1_workload(n, parts, keep, batch),
+    ).duration
+    m = parts * keep
+    t += model.price(
+        _stream_shape(spec, m * batch), **stage2_workload(m, k, batch)
+    ).duration
+    return t + 2 * spec.kernel_launch_latency + spec.sync_latency
+
+
+def _predict_bucket_approx(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    from ..algos.bucket_approx import BucketApproxTopK
+
+    parts, keep = BucketApproxTopK().plan(n, k)
+    return _predict_partition_approx(model, spec, n, k, batch, parts, keep)
+
+
+def _predict_twostage_approx(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    from ..algos.twostage_approx import TwoStageApproxTopK
+
+    parts, keep = TwoStageApproxTopK().plan(n, k)
+    return _predict_partition_approx(model, spec, n, k, batch, parts, keep)
+
+
 def _predict(algo: str, model: KernelCostModel, spec, n: int, k: int, batch: int) -> float:
     if algo == "sort":
         return _predict_sort(model, spec, n, k, batch)
@@ -614,9 +671,13 @@ def _predict(algo: str, model: KernelCostModel, spec, n: int, k: int, batch: int
         return _predict_bitonic(model, spec, n, k, batch)
     if algo == "drtopk_hybrid":
         return _predict_drtopk_hybrid(model, spec, n, k, batch)
+    if algo == "bucket_approx":
+        return _predict_bucket_approx(model, spec, n, k, batch)
+    if algo == "twostage_approx":
+        return _predict_twostage_approx(model, spec, n, k, batch)
     raise KeyError(
         f"no analytic prediction for {algo!r}; "
-        f"predictable: {PREDICTABLE_ALGORITHMS}"
+        f"predictable: {PREDICTABLE_ALGORITHMS + APPROX_ALGORITHMS}"
     )
 
 

@@ -18,8 +18,10 @@ from .bitonic import (
     merge_select_lower_with_payload,
 )
 from .batched import (
+    affine_partitions,
     flat_histogram,
     head_mask,
+    partition_topc,
     segment_min_max,
     segment_offsets,
 )
@@ -49,8 +51,10 @@ __all__ = [
     "merge_select_lower_with_payload",
     "batched_digit_histogram",
     "digit_histogram",
+    "affine_partitions",
     "flat_histogram",
     "head_mask",
+    "partition_topc",
     "segment_min_max",
     "segment_offsets",
     "block_scan_ops",

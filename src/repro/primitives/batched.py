@@ -12,7 +12,11 @@ are the segment algebra those paths share:
   :func:`repro.primitives.histogram.batched_digit_histogram`);
 * :func:`head_mask` — select the first ``take[i]`` elements of each
   segment of a row-major flat array;
-* :func:`segment_min_max` — per-segment min/max reductions.
+* :func:`segment_min_max` — per-segment min/max reductions;
+* :func:`affine_partitions` / :func:`partition_topc` — the batched bucket
+  partition helpers of the approximate tier: a seeded affine scatter of
+  positions into near-equal partitions, and per-partition best-``keep``
+  selection over a whole batch in one vectorised pass.
 
 All helpers are exact (integer arithmetic only); the fused paths that use
 them are pinned byte-identical to the per-row reference execution by
@@ -20,6 +24,8 @@ them are pinned byte-identical to the per-row reference execution by
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -119,4 +125,109 @@ def segment_min_max(
     return (
         np.minimum.reduceat(values, starts),
         np.maximum.reduceat(values, starts),
+    )
+
+
+def affine_partitions(
+    n: int, parts: int, *, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded affine scatter of ``n`` positions into ``parts`` partitions.
+
+    Position ``j`` lands in partition ``((a*j + c) mod n) mod parts`` with
+    ``a`` coprime to both ``n`` and ``parts`` — a bijective remap, so the
+    partition sizes are the near-equal strided split of
+    :func:`repro.approx.partition_sizes`, and any *contiguous* run of
+    positions cycles through every partition (adversarially clustered
+    inputs spread like random ones).  The assignment depends only on
+    ``(n, parts, seed)``: batched and single-shot runs of the approximate
+    algorithms see the same scatter.
+
+    Returns ``(order, sizes)``: ``order`` lists the positions grouped by
+    partition (ascending position within each partition) and ``sizes`` the
+    per-partition counts, descending-grouped (all ``ceil`` partitions
+    first) as :func:`partition_topc` requires.
+    """
+    if not 1 <= parts <= n:
+        raise ValueError(f"parts must be in [1, n={n}], got {parts}")
+    rng = np.random.default_rng(seed)
+    a, c = 1, 0
+    if n > 1:
+        for _ in range(128):
+            cand = int(rng.integers(1, n))
+            if math.gcd(cand, n) == 1 and math.gcd(cand, parts) == 1:
+                a = cand
+                break
+        c = int(rng.integers(n))
+    j = np.arange(n, dtype=np.int64)
+    part = ((a * j + c) % n) % parts
+    order = np.argsort(part, kind="stable")
+    sizes = np.bincount(part, minlength=parts)
+    return order, sizes
+
+
+def partition_topc(
+    keys2d: np.ndarray,
+    order: np.ndarray,
+    sizes: np.ndarray,
+    keep: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-partition smallest-``keep`` selection across a whole batch.
+
+    ``keys2d`` is ``(batch, n)``; ``order`` groups the ``n`` positions by
+    partition and ``sizes`` gives the partition lengths in ``order``'s
+    grouping (equal sizes must be consecutive, as
+    :func:`affine_partitions` produces).  Every partition must hold at
+    least ``keep`` elements.
+
+    Because near-equal splits have at most two distinct sizes, the
+    ragged per-partition selection decomposes into (at most two)
+    rectangular ``(batch, count, size)`` blocks, each solved by one
+    vectorised stable argsort — no padding sentinels, so ties between
+    real elements and padding can never surface.  Ties within a partition
+    break toward the lower original position.
+
+    Returns ``(keys, positions)`` of shape ``(batch, parts * keep)``,
+    partition-major, best-first within each partition.
+    """
+    keys2d = np.asarray(keys2d)
+    order = np.asarray(order, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if keys2d.ndim != 2:
+        raise ValueError(f"keys2d must be 2-d, got shape {keys2d.shape}")
+    batch, n = keys2d.shape
+    if order.shape != (n,):
+        raise ValueError(f"order must have shape ({n},), got {order.shape}")
+    if int(sizes.sum()) != n:
+        raise ValueError(f"sizes sum to {int(sizes.sum())}, expected {n}")
+    if sizes.size and int(sizes.min()) < keep:
+        raise ValueError(
+            f"every partition needs >= keep={keep} elements, "
+            f"smallest has {int(sizes.min())}"
+        )
+    grouped = keys2d[:, order]
+    out_keys: list[np.ndarray] = []
+    out_pos: list[np.ndarray] = []
+    start = 0
+    run_start = 0
+    for i in range(1, sizes.size + 1):
+        if i < sizes.size and sizes[i] == sizes[run_start]:
+            continue
+        size = int(sizes[run_start])
+        count = i - run_start
+        span = size * count
+        block = grouped[:, start : start + span].reshape(batch, count, size)
+        sel = np.argsort(block, axis=2, kind="stable")[:, :, :keep]
+        out_keys.append(
+            np.take_along_axis(block, sel, axis=2).reshape(batch, -1)
+        )
+        base = order[start : start + span].reshape(1, count, size)
+        positions = np.take_along_axis(
+            np.broadcast_to(base, (batch, count, size)), sel, axis=2
+        )
+        out_pos.append(positions.reshape(batch, -1))
+        start += span
+        run_start = i
+    return (
+        np.concatenate(out_keys, axis=1),
+        np.concatenate(out_pos, axis=1),
     )

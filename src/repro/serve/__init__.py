@@ -31,7 +31,7 @@ device, so a 2-second, 200-QPS load test runs deterministically in
 milliseconds of host time.
 """
 
-from .batcher import GroupKey, MicroBatcher
+from .batcher import GroupKey, MicroBatcher, quality_class
 from .cache import DispatchPlan, LRUCache, ServeCache, fingerprint
 from .loadgen import (
     LoadSpec,
@@ -70,6 +70,7 @@ __all__ = [
     "hierarchical_merge",
     "merge_pair",
     "poisson_arrivals",
+    "quality_class",
     "run_serve_bench",
     "sequential_baseline",
     "shard_bounds",

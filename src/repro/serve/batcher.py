@@ -19,6 +19,19 @@ from dataclasses import dataclass
 from .request import Request
 
 
+def quality_class(min_recall: float | None) -> float | None:
+    """Quantised recall-target bucket for batching and cache keying.
+
+    Requests in the same bucket share a dispatch plan (and may share a
+    launch); quantising to 1e-3 keeps the number of distinct groups
+    bounded under jittery per-request targets.  None — exact traffic —
+    is its own class, never mixed with approximate-eligible requests.
+    """
+    if min_recall is None:
+        return None
+    return round(float(min_recall), 3)
+
+
 @dataclass(frozen=True)
 class GroupKey:
     """Everything two requests must agree on to share a launch."""
@@ -27,6 +40,10 @@ class GroupKey:
     k: int
     dtype: str
     largest: bool
+    #: quantised recall-target class (None = exact-only traffic).  Two
+    #: requests with different quality classes may need different plans
+    #: (exact vs approximate), so they never share a batch.
+    quality: float | None = None
 
     @classmethod
     def of(cls, request: Request) -> "GroupKey":
@@ -35,6 +52,7 @@ class GroupKey:
             k=request.k,
             dtype=str(request.data.dtype),
             largest=request.largest,
+            quality=quality_class(request.min_recall),
         )
 
 

@@ -11,7 +11,13 @@ Two things are worth remembering between requests:
 * **Results** — identical payloads recur in real serving traffic (hot
   queries, retries).  Served (values, indices) are keyed on a
   content fingerprint of the payload plus (n, k, dtype, largest) — the
-  distribution hints that change the answer.
+  distribution hints that change the answer — plus the request's
+  *quality class*: an approximate-tier answer and the exact answer for
+  the same payload are different results and must never alias (an exact
+  caller getting a cached approximate answer would be a silent
+  correctness bug).  Entries carry a ``meta`` dict (``exact``,
+  ``recall_bound``, ``algo``) so a cache hit reproduces the original
+  outcome's quality annotations.
 
 Both sit behind :class:`ServeCache`, a pair of bounded
 :class:`LRUCache` maps with hit/miss counters the service exports as
@@ -85,6 +91,14 @@ class DispatchPlan:
     algo: str
     #: full (algo, predicted seconds) ranking behind the pick
     ranking: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+    #: algorithm tuning the plan runs with (approximate configs)
+    params: tuple[tuple[str, object], ...] = ()
+    #: analytic E[recall] of the plan (1.0 for exact plans)
+    predicted_recall: float = 1.0
+    #: whether the planned algorithm guarantees the exact top-k
+    exact: bool = True
+    #: the recall target the plan was made for (None = unconstrained)
+    min_recall: float | None = None
 
     @property
     def predicted_time(self) -> float | None:
@@ -123,9 +137,16 @@ class ServeCache:
 
     # -- dispatch plans ------------------------------------------------- #
     def plan_key(
-        self, *, n: int, k: int, batch: int, spec_name: str, largest: bool
+        self,
+        *,
+        n: int,
+        k: int,
+        batch: int,
+        spec_name: str,
+        largest: bool,
+        min_recall: float | None = None,
     ) -> tuple:
-        return (n, k, _batch_bucket(batch), spec_name, largest)
+        return (n, k, _batch_bucket(batch), spec_name, largest, min_recall)
 
     def get_plan(self, **key_fields) -> DispatchPlan | None:
         return self.plans.get(self.plan_key(**key_fields))
@@ -134,41 +155,99 @@ class ServeCache:
         self.plans.put(self.plan_key(**key_fields), plan)
 
     def make_plan(
-        self, *, n: int, k: int, batch: int, spec, largest: bool, calibration=None
+        self,
+        *,
+        n: int,
+        k: int,
+        batch: int,
+        spec,
+        largest: bool,
+        min_recall: float | None = None,
+        calibration=None,
     ) -> tuple[DispatchPlan, bool]:
         """Fetch or compute the plan for a shape; returns (plan, was_hit).
 
-        Computing goes through :func:`repro.perf.costmodel.rank_algorithms`
-        — the same ranking the ``auto`` algorithm would derive — with the
-        batch size bucketed so nearby occupancies share one entry.
+        Without ``min_recall`` this goes through
+        :func:`repro.perf.costmodel.rank_algorithms` — the same exact-only
+        ranking the ``auto`` algorithm would derive.  With a recall
+        target the quality-aware planner
+        (:func:`repro.approx.choose_plan`) picks the cheapest plan —
+        exact or approximate — clearing the target with its safety
+        margin.  Either way the batch size is bucketed so nearby
+        occupancies share one entry.
         """
         fields = dict(
-            n=n, k=k, batch=batch, spec_name=spec.name, largest=largest
+            n=n,
+            k=k,
+            batch=batch,
+            spec_name=spec.name,
+            largest=largest,
+            min_recall=min_recall,
         )
         plan = self.get_plan(**fields)
         if plan is not None:
             self._fire("plan_hit")
             return plan, True
         self._fire("plan_miss")
-        from ..perf.costmodel import rank_algorithms
+        if min_recall is not None:
+            from ..approx import choose_plan
 
-        ranking = rank_algorithms(
-            n=n,
-            k=k,
-            batch=_batch_bucket(batch),
-            spec=spec,
-            calibration=calibration,
-        )
-        plan = DispatchPlan(
-            algo=ranking[0].algo,
-            ranking=tuple((p.algo, p.time) for p in ranking),
-        )
+            chosen = choose_plan(
+                n=n,
+                k=k,
+                batch=_batch_bucket(batch),
+                spec=spec,
+                min_recall=min_recall,
+                calibration=calibration,
+            )
+            plan = DispatchPlan(
+                algo=chosen.algo,
+                ranking=((chosen.algo, chosen.predicted_time),),
+                params=tuple(sorted(chosen.params.items())),
+                predicted_recall=chosen.predicted_recall,
+                exact=chosen.exact,
+                min_recall=min_recall,
+            )
+        else:
+            from ..perf.costmodel import rank_algorithms
+
+            ranking = rank_algorithms(
+                n=n,
+                k=k,
+                batch=_batch_bucket(batch),
+                spec=spec,
+                calibration=calibration,
+            )
+            plan = DispatchPlan(
+                algo=ranking[0].algo,
+                ranking=tuple((p.algo, p.time) for p in ranking),
+            )
         self.put_plan(plan, **fields)
         return plan, False
 
     # -- results -------------------------------------------------------- #
-    def result_key(self, data: np.ndarray, k: int, largest: bool) -> tuple:
-        return (fingerprint(data), int(data.shape[-1]), int(k), bool(largest))
+    def result_key(
+        self,
+        data: np.ndarray,
+        k: int,
+        largest: bool,
+        quality: float | None = None,
+    ) -> tuple:
+        """Cache key of one (payload, k, largest, quality-class) result.
+
+        ``quality`` is the request's quantised recall-target class
+        (:func:`repro.serve.batcher.quality_class`); None for exact
+        traffic.  Keeping it in the key is what guarantees an exact
+        request can never be served a cached approximate answer for the
+        same payload, and vice versa.
+        """
+        return (
+            fingerprint(data),
+            int(data.shape[-1]),
+            int(k),
+            bool(largest),
+            quality,
+        )
 
     @staticmethod
     def _checksum(values: np.ndarray, indices: np.ndarray) -> str:
@@ -177,28 +256,36 @@ class ServeCache:
         digest.update(np.ascontiguousarray(indices).tobytes())
         return digest.hexdigest()
 
-    def get_result(self, data: np.ndarray, k: int, largest: bool):
-        """The cached ``(values, indices)``, or None on miss *or* when the
-        stored entry fails its integrity checksum.
+    def get_result(
+        self,
+        data: np.ndarray,
+        k: int,
+        largest: bool,
+        quality: float | None = None,
+    ):
+        """The cached ``(values, indices, meta)``, or None on miss *or*
+        when the stored entry fails its integrity checksum.
 
-        A corrupt entry (bit-rot, or an injected ``cache_corruption``
-        fault — see :meth:`corrupt_result`) is counted, evicted (the
-        *repair* half of the circuit-breaker policy) and reported as a
-        miss, never served.
+        ``meta`` reproduces the quality annotations of the originally
+        served outcome (``exact``, ``recall_bound``, ``algo``).  A
+        corrupt entry (bit-rot, or an injected ``cache_corruption`` fault
+        — see :meth:`corrupt_result`) is counted, evicted (the *repair*
+        half of the circuit-breaker policy) and reported as a miss, never
+        served.
         """
-        key = self.result_key(data, k, largest)
+        key = self.result_key(data, k, largest, quality)
         entry = self.results.get(key)
         if entry is None:
             self._fire("result_miss")
             return None
-        values, indices, checksum = entry
+        values, indices, checksum, meta = entry
         if self._checksum(values, indices) != checksum:
             self.corruptions += 1
             self.results._data.pop(key, None)  # repair: drop the bad entry
             self._fire("result_corrupt")
             return None
         self._fire("result_hit")
-        return values, indices
+        return values, indices, meta
 
     def put_result(
         self,
@@ -207,28 +294,36 @@ class ServeCache:
         largest: bool,
         values: np.ndarray,
         indices: np.ndarray,
+        quality: float | None = None,
+        meta: dict | None = None,
     ) -> None:
         values = np.array(values, copy=True)
         indices = np.array(indices, copy=True)
         self.results.put(
-            self.result_key(data, k, largest),
-            (values, indices, self._checksum(values, indices)),
+            self.result_key(data, k, largest, quality),
+            (values, indices, self._checksum(values, indices), dict(meta or {})),
         )
 
-    def corrupt_result(self, data: np.ndarray, k: int, largest: bool) -> bool:
+    def corrupt_result(
+        self,
+        data: np.ndarray,
+        k: int,
+        largest: bool,
+        quality: float | None = None,
+    ) -> bool:
         """Flip one byte of the cached values for this key (the
         ``cache_corruption`` fault seam); returns True when an entry was
         there to corrupt.  The stored checksum is left intact, so the
         next :meth:`get_result` detects and repairs the damage."""
-        key = self.result_key(data, k, largest)
+        key = self.result_key(data, k, largest, quality)
         entry = self.results._data.get(key)
         if entry is None:
             return False
-        values, indices, checksum = entry
+        values, indices, checksum, meta = entry
         corrupted = np.array(values, copy=True)
         raw = corrupted.view(np.uint8).reshape(-1)
         raw[0] ^= 0xFF
-        self.results._data[key] = (corrupted, indices, checksum)
+        self.results._data[key] = (corrupted, indices, checksum, meta)
         return True
 
     def stats(self) -> dict[str, int]:

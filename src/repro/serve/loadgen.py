@@ -76,6 +76,12 @@ class LoadSpec:
     payload_pool: int = 4096
     #: per-request latency SLO; None disables timeouts
     deadline_s: float | None = None
+    #: recall target attached (as ``Request.slo``) to a fraction of the
+    #: trace — the mixed exact/approx load of quality-aware serving.
+    #: ``min_recall=None`` or ``approx_fraction=0`` keeps the trace
+    #: byte-identical to a pre-quality build
+    min_recall: float | None = None
+    approx_fraction: float = 0.0
     seed: int = 0
 
 
@@ -101,6 +107,20 @@ def build_requests(spec: LoadSpec) -> list[Request]:
     )[0]
     rng = np.random.default_rng(spec.seed + 1)
     picks = rng.integers(0, spec.payload_pool, size=len(arrivals))
+    # quality mix: a separate rng stream (seed + 2) decides which requests
+    # carry the recall target, so enabling it never perturbs the arrival
+    # or payload draws above — a quality-off trace stays byte-identical
+    quality = np.zeros(len(arrivals), dtype=bool)
+    if spec.min_recall is not None and spec.approx_fraction > 0:
+        if not 0.0 < spec.min_recall <= 1.0:
+            raise ValueError(
+                f"min_recall must be in (0, 1], got {spec.min_recall}"
+            )
+        if spec.approx_fraction >= 1.0:
+            quality[:] = True
+        else:
+            qrng = np.random.default_rng(spec.seed + 2)
+            quality = qrng.random(len(arrivals)) < spec.approx_fraction
     return [
         Request(
             rid=rid,
@@ -111,6 +131,7 @@ def build_requests(spec: LoadSpec) -> list[Request]:
             deadline_s=(
                 None if spec.deadline_s is None else float(t) + spec.deadline_s
             ),
+            slo=((None, spec.min_recall) if quality[rid] else None),
         )
         for rid, (t, pick) in enumerate(zip(arrivals, picks))
     ]
@@ -213,6 +234,14 @@ class ServeBenchReport:
                 f"{s.cache.get('result_misses', 0)} miss, "
                 f"plan {s.cache.get('plan_hits', 0)} hit / "
                 f"{s.cache.get('plan_misses', 0)} miss"
+            )
+        # the quality report only appears once approximate traffic exists,
+        # so an exact-only run prints byte-identically to a pre-quality
+        # build (same convention as the availability block below)
+        if s.approx_served or s.recall_violations:
+            out.append(
+                f"  quality: approx_served={s.approx_served} "
+                f"recall_violations={s.recall_violations}"
             )
         # the availability report only appears once faults actually fired
         # or degraded/failed traffic exists, so a run with no fault plan

@@ -37,10 +37,25 @@ class Request:
     arrival_s: float
     #: absolute virtual deadline, or None for no deadline
     deadline_s: float | None = None
+    #: optional quality SLO as ``(deadline_s, min_recall)`` — a *relative*
+    #: latency budget (applied on admission when ``deadline_s`` is unset)
+    #: and the minimum recall the caller will accept.  Either half may be
+    #: None; ``slo=None`` is a plain exact request.  Requests carrying a
+    #: ``min_recall`` are eligible for the approximate tier and are
+    #: batched/cached separately from exact traffic (see GroupKey and
+    #: ServeCache.result_key).
+    slo: tuple | None = None
 
     @property
     def n(self) -> int:
         return int(self.data.shape[-1])
+
+    @property
+    def min_recall(self) -> float | None:
+        """The request's recall target, or None for exact-only traffic."""
+        if self.slo is None:
+            return None
+        return self.slo[1]
 
 
 @dataclass
@@ -70,9 +85,14 @@ class Outcome:
     #: selected values/indices, best first (served/degraded only)
     values: np.ndarray | None = field(default=None, repr=False)
     indices: np.ndarray | None = field(default=None, repr=False)
-    #: high-probability recall floor of a degraded result (see
-    #: docs/faults.md); None for full-fidelity outcomes
+    #: high-probability recall floor of a lossy result — attached both by
+    #: degraded sharded execution (docs/faults.md) and by the approximate
+    #: tier (docs/approximate.md); None for exact full-fidelity outcomes
     recall_bound: float | None = None
+    #: whether the results are guaranteed to equal the exact top-k; False
+    #: for approximate-tier and degraded results (which also carry
+    #: ``recall_bound``)
+    exact: bool = True
     #: why a failed outcome failed (exception text), empty otherwise
     error: str = ""
 

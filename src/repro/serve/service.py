@@ -41,7 +41,7 @@ from ..api import resolve_device, topk
 from ..faults import CircuitBreaker, FaultPlan, HedgePolicy, RetryPolicy
 from ..obs import get_metrics, tracing_enabled
 from ..obs.serve import ServeTelemetry
-from .batcher import GroupKey, MicroBatcher
+from .batcher import GroupKey, MicroBatcher, quality_class
 from .cache import ServeCache
 from .request import Outcome, Request
 from .sharder import AllShardsLost, sharded_topk
@@ -130,6 +130,9 @@ class BatchRecord:
     attempts: int = 1
     #: whether the batch came back degraded (a shard was lost)
     degraded: bool = False
+    #: whether the batch's results are exact (False for the approximate
+    #: tier and for degraded sharded results)
+    exact: bool = True
 
 
 @dataclass
@@ -166,6 +169,13 @@ class ServeStats:
     retries: int = 0
     hedges: int = 0
     breaker_trips: int = 0
+    #: "served" outcomes answered by the approximate tier (exact=False
+    #: but not degraded); a subset of ``served``
+    approx_served: int = 0
+    #: answered requests carrying a ``min_recall`` target whose plan's
+    #: expected recall fell below it — zero by planner construction
+    #: unless a fixed-algo config overrides the quality dispatch
+    recall_violations: int = 0
 
     @property
     def total(self) -> int:
@@ -327,13 +337,29 @@ class TopKService:
         return self.telemetry.spans(base_us)
 
     # -- outcome bookkeeping -------------------------------------------- #
-    def _finish(self, outcome: Outcome) -> Outcome:
+    def _finish(
+        self,
+        outcome: Outcome,
+        *,
+        recall_target: bool = False,
+        recall_met: bool = True,
+    ) -> Outcome:
         self.outcomes.append(outcome)
         setattr(self.stats, outcome.status, getattr(self.stats, outcome.status) + 1)
         self.stats.makespan_s = max(self.stats.makespan_s, outcome.finish_s)
+        if outcome.status == "served" and not outcome.exact:
+            self.stats.approx_served += 1
+            self._count("serve.approx")
+        if recall_target and not recall_met:
+            self.stats.recall_violations += 1
         self._count("serve.requests", status=outcome.status)
         self.telemetry.on_outcome(
-            outcome.status, outcome.finish_s, outcome.latency_s
+            outcome.status,
+            outcome.finish_s,
+            outcome.latency_s,
+            exact=outcome.exact,
+            recall_target=recall_target,
+            recall_met=recall_met,
         )
         # the status-labelled latency series also charges non-served
         # verdicts with the time the caller actually waited
@@ -397,6 +423,7 @@ class TopKService:
         if cfg.result_cache <= 0:
             return None
         now_s = request.arrival_s
+        quality = quality_class(request.min_recall)
         if not self.breaker.allow(now_s):
             self._count("serve.breaker", event="bypass")
             self.telemetry.on_breaker(now_s)
@@ -408,14 +435,18 @@ class TopKService:
             )
             return None
         if self.injector is not None and self.cache.result_key(
-            request.data, request.k, request.largest
+            request.data, request.k, request.largest, quality
         ) in self.cache.results:
             if self.injector.decide(
                 "cache_corruption", "serve.cache", f"rid={request.rid}"
             ):
-                self.cache.corrupt_result(request.data, request.k, request.largest)
+                self.cache.corrupt_result(
+                    request.data, request.k, request.largest, quality
+                )
         before = self.cache.corruptions
-        cached = self.cache.get_result(request.data, request.k, request.largest)
+        cached = self.cache.get_result(
+            request.data, request.k, request.largest, quality
+        )
         if self.cache.corruptions > before:
             # checksum caught a corrupt entry: repaired (evicted) above,
             # count it toward the breaker and report a miss (the cache
@@ -450,11 +481,19 @@ class TopKService:
         """
         cfg = self.config
         self._now_s = request.arrival_s
+        if (
+            request.deadline_s is None
+            and request.slo is not None
+            and request.slo[0] is not None
+        ):
+            request.deadline_s = request.arrival_s + float(request.slo[0])
         if request.deadline_s is None and cfg.default_deadline_s is not None:
             request.deadline_s = request.arrival_s + cfg.default_deadline_s
         cached = self._cached_result(request)
         if cached is not None:
-            values, indices = cached
+            values, indices, meta = cached
+            exact = bool(meta.get("exact", True))
+            min_recall = request.min_recall
             self._admission_span(request, "cache_hit")
             return self._finish(
                 Outcome(
@@ -468,7 +507,15 @@ class TopKService:
                     cache_hit=True,
                     values=values,
                     indices=indices,
-                )
+                    exact=exact,
+                    recall_bound=meta.get("recall_bound"),
+                ),
+                recall_target=min_recall is not None,
+                recall_met=(
+                    min_recall is None
+                    or exact
+                    or meta.get("expected_recall", 1.0) >= min_recall
+                ),
             )
         if self.batcher.pending >= cfg.queue_limit:
             self._admission_span(request, "shed")
@@ -499,7 +546,16 @@ class TopKService:
         )
 
     # -- execution ------------------------------------------------------ #
-    def _run_batch(self, data, key: GroupKey, algo: str, batch_id: int):
+    def _run_batch(
+        self,
+        data,
+        key: GroupKey,
+        algo: str,
+        batch_id: int,
+        *,
+        params: dict | None = None,
+        allow_shard: bool = True,
+    ):
         """One batch execution through the fault seams.
 
         Returns ``(result, start_delay_s, attempts, error)``: on success
@@ -507,8 +563,15 @@ class TopKService:
         empty; past the retry budget ``result`` is None and ``error``
         records the last failure.  ``start_delay_s`` is the virtual-time
         backoff paid before the successful (or final) attempt.
+
+        ``params`` overrides the service-level tuning when the quality
+        planner chose the plan; ``allow_shard=False`` keeps approximate
+        plans on a single device — sharded execution's merge/recall
+        contract assumes exact per-shard results, and stacking the two
+        loss models would invalidate both bounds.
         """
         cfg = self.config
+        run_params = params if params is not None else cfg.params
         attempts = 1 + max(0, cfg.batch_retries)
         delay_s = 0.0
         last_error = ""
@@ -526,7 +589,7 @@ class TopKService:
                 last_error = "injected worker crash"
                 continue
             try:
-                if cfg.shards > 1 and key.n >= cfg.shard_min_n:
+                if allow_shard and cfg.shards > 1 and key.n >= cfg.shard_min_n:
                     result = sharded_topk(
                         data,
                         key.k,
@@ -535,7 +598,7 @@ class TopKService:
                         device=self.spec,
                         largest=key.largest,
                         seed=cfg.seed,
-                        params=cfg.params,
+                        params=run_params,
                         workers=cfg.workers,
                         injector=self.injector,
                         retry=self.retry,
@@ -550,7 +613,7 @@ class TopKService:
                         device=self.spec,
                         largest=key.largest,
                         seed=cfg.seed,
-                        params=cfg.params,
+                        params=run_params,
                     )
             except AllShardsLost as exc:
                 last_error = str(exc)
@@ -602,20 +665,34 @@ class TopKService:
 
         data = np.stack([r.data for r in alive])
         algo, plan_hit = cfg.algo, False
+        plan_params: dict | None = None
+        plan_exact = True
         if cfg.algo == "auto":
-            # the cache hook counts the serve.cache plan_hit/plan_miss
+            # the cache hook counts the serve.cache plan_hit/plan_miss;
+            # a group carrying a recall target (key.quality) goes through
+            # the quality-aware planner, which may pick an approximate
+            # plan — exact-only traffic never does
             plan, plan_hit = self.cache.make_plan(
                 n=key.n,
                 k=key.k,
                 batch=len(alive),
                 spec=self.spec,
                 largest=key.largest,
+                min_recall=key.quality,
             )
             algo = plan.algo
+            plan_exact = plan.exact
+            if plan.params:
+                plan_params = dict(plan.params)
         batch_id = self._batch_seq
         self._batch_seq += 1
         result, delay_s, attempts, error = self._run_batch(
-            data, key, algo, batch_id
+            data,
+            key,
+            algo,
+            batch_id,
+            params=plan_params,
+            allow_shard=plan_exact,
         )
         start_s += delay_s
         duration_s = 0.0
@@ -709,11 +786,21 @@ class TopKService:
                 plan_hit=plan_hit,
                 attempts=attempts,
                 degraded=result.degraded,
+                exact=result.exact,
             )
         )
+        result_exact = bool(result.exact)
+        expected_recall = result.meta.get("expected_recall", 1.0)
         for row, request in enumerate(alive):
             values = np.array(result.values[row], copy=True)
             indices = np.array(result.indices[row], copy=True)
+            min_recall = request.min_recall
+            recall_target = min_recall is not None
+            recall_met = (
+                min_recall is None
+                or result_exact
+                or expected_recall >= min_recall
+            )
             if request.deadline_s is not None and request.deadline_s < finish_s:
                 self._finish(
                     Outcome(
@@ -739,12 +826,34 @@ class TopKService:
                         values=values,
                         indices=indices,
                         recall_bound=result.recall_bound,
-                    )
+                        exact=False,
+                    ),
+                    recall_target=recall_target,
+                    recall_met=not recall_target
+                    or (result.recall_bound or 0.0) >= min_recall,
                 )
                 continue
             if self.breaker.allow(request.arrival_s):
+                # approximate results are cached under the request's
+                # quality class with their quality annotations, so an
+                # exact lookup for the same payload can never alias them
+                quality = quality_class(min_recall)
+                meta = None
+                if not result_exact:
+                    meta = {
+                        "exact": False,
+                        "recall_bound": result.recall_bound,
+                        "expected_recall": expected_recall,
+                        "algo": result.algo,
+                    }
                 self.cache.put_result(
-                    request.data, request.k, request.largest, values, indices
+                    request.data,
+                    request.k,
+                    request.largest,
+                    values,
+                    indices,
+                    quality,
+                    meta,
                 )
             self._finish(
                 Outcome(
@@ -757,7 +866,11 @@ class TopKService:
                     algo=result.algo,
                     values=values,
                     indices=indices,
-                )
+                    exact=result_exact,
+                    recall_bound=None if result_exact else result.recall_bound,
+                ),
+                recall_target=recall_target,
+                recall_met=recall_met,
             )
 
     # -- request-trace emission ------------------------------------------ #

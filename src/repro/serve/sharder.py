@@ -272,5 +272,6 @@ def sharded_topk(
         device=coordinator,
         degraded=degraded,
         recall_bound=bound,
+        exact=not degraded,
         meta=meta,
     )

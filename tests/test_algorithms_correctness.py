@@ -10,10 +10,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import UnsupportedProblem, algorithm_names, check_topk, topk
+from repro import UnsupportedProblem, available_algorithms, check_topk, topk
 from repro.datagen import generate
 
-ALGOS = algorithm_names()
+# the exact roster only: the approximate tier trades recall for time by
+# design and is exercised against its own recall contract in
+# tests/test_approx.py
+ALGOS = [info.name for info in available_algorithms() if info.exact]
 
 #: largest k each algorithm supports (None = unlimited)
 MAX_K = {

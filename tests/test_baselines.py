@@ -32,6 +32,7 @@ class TestRegistry:
             "auto",
             "bitonic_topk",
             "block_select",
+            "bucket_approx",
             "bucket_select",
             "drtopk_hybrid",
             "grid_select",
@@ -39,6 +40,7 @@ class TestRegistry:
             "radix_select",
             "sample_select",
             "sort",
+            "twostage_approx",
             "warp_select",
         ]
 

@@ -14,11 +14,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import algorithm_names, check_topk, topk
+from repro import available_algorithms, check_topk, topk
 from repro.algos.queue_common import sentinel_for
 from repro.core.air_topk import AIRTopK
 
-ALGOS = algorithm_names()
+# exact roster only; the approximate tier's dtype coverage lives in
+# tests/test_approx.py where recall (not equality) is the contract
+ALGOS = [info.name for info in available_algorithms() if info.exact]
 
 
 def make_data(rng, dtype, n):

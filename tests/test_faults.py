@@ -362,7 +362,7 @@ class TestCacheCorruption:
         assert cache.stats()["result_corruptions"] == 1
         # repaired: a fresh put serves cleanly again
         cache.put_result(data, 8, False, result.values, result.indices)
-        values, _ = cache.get_result(data, 8, False)
+        values, _, _ = cache.get_result(data, 8, False)
         assert np.array_equal(values, result.values)
 
     def test_corrupt_missing_entry_is_noop(self, rng):

@@ -7,10 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import algorithm_names, check_topk, topk
+from repro import available_algorithms, check_topk, topk
 from repro.verify import oracle_topk_values
 
-ALGOS = algorithm_names()
+# Exact roster only: the approximate tier's recall properties live in
+# tests/test_approx.py.
+ALGOS = [info.name for info in available_algorithms() if info.exact]
 
 #: float32 values including duplicates, infinities and extremes
 finite_floats = st.floats(

@@ -284,8 +284,9 @@ class TestLRUCache:
         data = rng.standard_normal(256).astype(np.float32)
         assert cache.get_result(data, 4, False) is None
         cache.put_result(data, 4, False, np.zeros(4), np.arange(4))
-        values, indices = cache.get_result(data, 4, False)
+        values, indices, meta = cache.get_result(data, 4, False)
         assert np.array_equal(indices, np.arange(4))
+        assert meta == {}
         # k and direction are part of the key
         assert cache.get_result(data, 5, False) is None
         assert cache.get_result(data, 4, True) is None
