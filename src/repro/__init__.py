@@ -20,7 +20,10 @@ Quick start::
 For serving many concurrent queries (micro-batching, sharding, caching,
 backpressure) see :mod:`repro.serve`; for deterministic fault injection
 and the recovery policies the serving layer is hardened with, see
-:mod:`repro.faults` and docs/faults.md.
+:mod:`repro.faults` and docs/faults.md.  :mod:`repro.cluster` replicates
+the serving node N ways behind a router (placement, R-way replication,
+quorum dispatch, node-fault chaos) while keeping cluster answers
+byte-identical to single-shot ``topk()`` — see docs/cluster.md.
 
 v2.1 adds an approximate tier (docs/approximate.md): ``topk(...,
 mode="approx")`` or ``topk(..., min_recall=0.95)`` opt into the

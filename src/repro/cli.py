@@ -8,6 +8,7 @@ Examples::
     python -m repro sweep --workers 4 --trace out.json --metrics metrics.json
     python -m repro auto --n 2^24 --k 1024
     python -m repro recall-bench --out recall_bench.json
+    python -m repro cluster-bench --faults benchmarks/fault_plans/cluster.json
     python -m repro drift results.csv
     python -m repro inspect out/manifest.json
     python -m repro table2
@@ -28,6 +29,7 @@ from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
 from . import algorithm_names, obs
+from .cluster import PLACEMENTS as CLUSTER_PLACEMENTS
 from .bench import (
     ALL_ALGORITHMS,
     BenchPoint,
@@ -460,6 +462,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure and report without gating",
     )
     add_logging(p_rb)
+
+    p_cb = sub.add_parser(
+        "cluster-bench",
+        help="node-count scaling sweep of the simulated cluster (capacity "
+        "vs nodes at the 200 QPS acceptance load) plus a chaos cell under "
+        "a pinned node-fault plan; gates near-linear scaling and "
+        "availability under replica loss",
+    )
+    p_cb.add_argument(
+        "--nodes",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated node counts to sweep (default 1,2,4)",
+    )
+    p_cb.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replicas per data partition (default 2)",
+    )
+    p_cb.add_argument(
+        "--placement",
+        choices=CLUSTER_PLACEMENTS,
+        default="least-loaded",
+        help="replica placement policy (default least-loaded)",
+    )
+    p_cb.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="data partitions per large request (default: node count)",
+    )
+    p_cb.add_argument(
+        "--gpu", choices=sorted(PRESETS), default="A100", help="simulated board"
+    )
+    p_cb.add_argument("--seed", type=int, default=0)
+    p_cb.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host threads running node replicas (results are identical "
+        "for any value; >1 only changes wall-clock)",
+    )
+    p_cb.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan (repro.faults.plan/v1) for the chaos cell; "
+        "default is the pinned plan mirrored at "
+        "benchmarks/fault_plans/cluster.json",
+    )
+    p_cb.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the chaos cell (scaling sweep only)",
+    )
+    p_cb.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the repro.bench.cluster/v1 snapshot JSON here",
+    )
+    p_cb.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the reduced smoke workload instead of the pinned "
+        "acceptance load (skips the scaling-speedup gate)",
+    )
+    p_cb.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and report without gating",
+    )
+    add_logging(p_cb)
 
     p_ins = sub.add_parser(
         "inspect",
@@ -1259,6 +1335,78 @@ def cmd_recall_bench(args) -> int:
     return 0
 
 
+def cmd_cluster_bench(args) -> int:
+    from .bench import clusterbench
+    from .faults import FaultPlan
+
+    if args.nodes:
+        try:
+            node_counts = tuple(
+                int(part) for part in args.nodes.split(",") if part.strip()
+            )
+        except ValueError:
+            logger.error("--nodes must be a comma-separated list of ints")
+            return 2
+        if not node_counts or any(n < 1 for n in node_counts):
+            logger.error("--nodes needs at least one count >= 1")
+            return 2
+    else:
+        node_counts = clusterbench.DEFAULT_NODE_COUNTS
+    if args.no_chaos:
+        chaos_plan = None
+    elif args.faults:
+        chaos_plan = FaultPlan.load(args.faults)
+    else:
+        chaos_plan = clusterbench.DEFAULT_CHAOS_PLAN
+    logger.info(
+        "cluster-bench: nodes %s, R=%d, placement %s%s",
+        ",".join(str(n) for n in node_counts),
+        args.replication,
+        args.placement,
+        "" if chaos_plan is None else " + chaos cell",
+    )
+
+    def show(cell) -> None:
+        logger.info(
+            "%d node(s): capacity %.0f rps (%.2fx), availability %.4f",
+            cell["nodes"],
+            cell["capacity_rps"],
+            cell["speedup"],
+            cell["availability"],
+        )
+
+    snapshot = clusterbench.collect_snapshot(
+        node_counts=node_counts,
+        replication=args.replication,
+        placement=args.placement,
+        partitions=args.partitions,
+        gpu=args.gpu,
+        seed=args.seed,
+        workers=args.workers,
+        chaos_plan=chaos_plan,
+        tiny=args.tiny,
+        progress=show,
+    )
+    print(clusterbench.render_cluster_report(snapshot))
+    if args.out:
+        path = clusterbench.write_snapshot(snapshot, args.out)
+        print(f"snapshot: {path}")
+    if args.no_gate:
+        return 0
+    # the tiny smoke workload is launch-bound, so only the full
+    # acceptance load is held to the scaling floor
+    failures = clusterbench.gate_cluster(
+        snapshot, min_speedup=0.0 if args.tiny else clusterbench.ACCEPT_SPEEDUP
+    )
+    for line in failures:
+        print(f"GATE FAIL: {line}")
+    if failures:
+        logger.error("%d cluster-gate failure(s)", len(failures))
+        return 1
+    print("cluster gate: ok")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     path = Path(args.path)
     if path.suffix == ".csv":
@@ -1348,6 +1496,20 @@ def cmd_inspect(args) -> int:
             f"gate {'FAIL' if failures else 'ok'})"
         )
         return 0
+    if schema == "repro.bench.cluster/v1":
+        from .bench.clusterbench import SNAPSHOT_SCHEMA, gate_cluster
+
+        obs.schema.validate(payload, SNAPSHOT_SCHEMA)
+        failures = gate_cluster(payload, min_speedup=0.0)
+        counts = ",".join(str(c["nodes"]) for c in payload["sweep"])
+        chaos = payload.get("chaos")
+        print(
+            f"{path}: valid cluster-bench snapshot "
+            f"(nodes {counts}, chaos "
+            f"{'absent' if chaos is None else 'present'}, "
+            f"gate {'FAIL' if failures else 'ok'})"
+        )
+        return 0
     if schema == "repro.obs.slo/v1":
         obs.validate_slo_spec(payload)
         print(f"{path}: valid SLO spec ({len(payload['slos'])} objectives)")
@@ -1395,6 +1557,7 @@ COMMANDS = {
     "drift": cmd_drift,
     "perf-bench": cmd_perf_bench,
     "recall-bench": cmd_recall_bench,
+    "cluster-bench": cmd_cluster_bench,
     "inspect": cmd_inspect,
 }
 

@@ -17,10 +17,11 @@ docs/faults.md).  Three coordinated pieces:
   :func:`recall_bound` contract degraded shard merges report.
 
 The seams that consult the injector live in :mod:`repro.serve.sharder`,
-:mod:`repro.serve.service`, :mod:`repro.serve.cache` and
-:mod:`repro.exec.worker`; with no plan installed every seam is a strict
-no-op and behaviour is byte-identical to the fault-free stack (pinned by
-tests/test_faults.py).
+:mod:`repro.serve.service`, :mod:`repro.serve.cache`,
+:mod:`repro.exec.worker` and — for the ``node_crash``/``node_partition``
+kinds — the :mod:`repro.cluster` router; with no plan installed every
+seam is a strict no-op and behaviour is byte-identical to the fault-free
+stack (pinned by tests/test_faults.py and tests/test_cluster_chaos.py).
 """
 
 from .injector import FaultEvent, FaultInjector, fault_draw
@@ -28,6 +29,8 @@ from .plan import (
     FAULT_KINDS,
     FAULT_PLAN_SCHEMA,
     FAULT_SITES,
+    NODE_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     FaultPlan,
     FaultRule,
     validate_fault_plan,
@@ -44,6 +47,8 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_PLAN_SCHEMA",
     "FAULT_SITES",
+    "NODE_FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "CircuitBreaker",
     "FaultEvent",
     "FaultInjector",

@@ -31,7 +31,20 @@ FAULT_KINDS = (
     "worker_crash",
     "cache_corruption",
     "timeout",
+    "node_crash",
+    "node_partition",
 )
+
+#: the five kinds a single-node service injects (the node_* kinds are
+#: router seams — see repro.cluster — and never fire inside a node)
+SERVE_FAULT_KINDS = FAULT_KINDS[:5]
+
+#: kinds the cluster router consults at the ``cluster.node`` site:
+#: ``node_crash`` makes a replica unreachable (sticky = the node has
+#: left the cluster; transient = it crashes for one fault epoch and
+#: rejoins), ``node_partition`` lets the node execute the work but
+#: drops its reply on the way back to the router
+NODE_FAULT_KINDS = FAULT_KINDS[5:]
 
 #: sites at which the seams consult the injector
 FAULT_SITES = (
@@ -39,6 +52,7 @@ FAULT_SITES = (
     "serve.batch",
     "serve.cache",
     "exec.point",
+    "cluster.node",
 )
 
 FAULT_PLAN_SCHEMA = {

@@ -5,7 +5,9 @@
 pinned here and checked on every write.  The validator implements the
 small JSON-Schema subset the artifacts need — ``type``, ``required``,
 ``properties``, ``items``, ``enum``, ``const`` — rather than pulling in a
-``jsonschema`` dependency the environment may not have.
+``jsonschema`` dependency the environment may not have.  A ``type`` may
+be a single name or a list of names (a union — how nullable fields like
+the cluster snapshot's per-cell latencies are expressed).
 """
 
 from __future__ import annotations
@@ -31,17 +33,23 @@ class SchemaError(ValueError):
         super().__init__("; ".join(errors))
 
 
+def _type_ok(value: Any, expected: str) -> bool:
+    if not isinstance(value, _TYPES[expected]):
+        return False
+    if expected in ("number", "integer") and isinstance(value, bool):
+        return False
+    return True
+
+
 def _check(value: Any, schema: dict, path: str, errors: list[str]) -> None:
     expected = schema.get("type")
     if expected is not None:
-        py = _TYPES[expected]
-        ok = isinstance(value, py)
-        if expected == "number" and isinstance(value, bool):
-            ok = False
-        if expected == "integer" and isinstance(value, bool):
-            ok = False
-        if not ok:
-            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        # a list of type names is a union (e.g. ["number", "null"] for
+        # nullable fields), matching JSON Schema's semantics
+        options = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, option) for option in options):
+            label = "|".join(options)
+            errors.append(f"{path}: expected {label}, got {type(value).__name__}")
             return
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")

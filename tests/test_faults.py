@@ -22,6 +22,8 @@ from hypothesis import strategies as st
 from repro import topk
 from repro.faults import (
     FAULT_KINDS,
+    NODE_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     CircuitBreaker,
     FaultInjector,
     FaultPlan,
@@ -106,7 +108,9 @@ class TestFaultPlan:
         validate_fault_plan(payload)
         plan = FaultPlan.from_payload(payload)
         kinds = {rule.kind for rule in plan.rules}
-        assert kinds == set(FAULT_KINDS)  # the reference exercises every kind
+        # the reference exercises every single-node kind; the node_* kinds
+        # live in the cluster plan (benchmarks/fault_plans/cluster.json)
+        assert kinds == set(SERVE_FAULT_KINDS)
 
 
 # --------------------------------------------------------------------------- #
@@ -186,6 +190,85 @@ class TestInjector:
         assert inj.fault_counts() == {"straggler": 1}
         assert inj.events[0].kind == "straggler"
         assert isinstance(inj, FaultInjector)
+
+
+# --------------------------------------------------------------------------- #
+# node-level kinds (the cluster router's seam)
+# --------------------------------------------------------------------------- #
+class TestNodeFaultKinds:
+    def test_kind_registry_split(self):
+        # the serve kinds fire inside a node, the node kinds fire at the
+        # cluster router; together they are the full registry
+        assert set(NODE_FAULT_KINDS) == {"node_crash", "node_partition"}
+        assert set(SERVE_FAULT_KINDS) | set(NODE_FAULT_KINDS) == set(
+            FAULT_KINDS
+        )
+        assert not set(SERVE_FAULT_KINDS) & set(NODE_FAULT_KINDS)
+
+    @pytest.mark.parametrize("kind", NODE_FAULT_KINDS)
+    def test_draws_are_key_independent_pure_hashes(self, kind):
+        # same purity contract as every other kind: a draw depends only
+        # on (seed, kind, site, key) — not on any other draw having
+        # happened, so workers=1 == workers=N holds cluster-wide
+        base = fault_draw(1, kind, "cluster.node", "node=0")
+        assert base == fault_draw(1, kind, "cluster.node", "node=0")
+        assert 0.0 <= base < 1.0
+        assert base != fault_draw(2, kind, "cluster.node", "node=0")
+        assert base != fault_draw(1, kind, "cluster.node", "node=1")
+        assert base != fault_draw(1, kind, "serve.shard", "node=0")
+        other = [k for k in NODE_FAULT_KINDS if k != kind][0]
+        assert base != fault_draw(1, other, "cluster.node", "node=0")
+
+    @pytest.mark.parametrize("kind", NODE_FAULT_KINDS)
+    def test_sticky_ignores_the_epoch(self, kind):
+        # sticky = the node left for good: the epoch (an attempt= key
+        # part) is stripped, one fate per node
+        sticky = FaultPlan(
+            seed=0,
+            rules=(
+                FaultRule(kind=kind, rate=0.5, site="cluster.node", sticky=True),
+            ),
+        ).injector()
+        fates = {
+            sticky.decide(
+                kind, "cluster.node", "node=3", f"attempt=epoch:{epoch}"
+            )
+            is not None
+            for epoch in range(16)
+        }
+        assert len(fates) == 1
+
+    @pytest.mark.parametrize("kind", NODE_FAULT_KINDS)
+    def test_transient_redraws_per_epoch(self, kind):
+        transient = FaultPlan(
+            seed=0,
+            rules=(FaultRule(kind=kind, rate=0.5, site="cluster.node"),),
+        ).injector()
+        fates = {
+            transient.decide(
+                kind, "cluster.node", "node=3", f"attempt=epoch:{epoch}"
+            )
+            is not None
+            for epoch in range(16)
+        }
+        assert fates == {True, False}  # leave/rejoin churn
+
+    def test_cluster_plan_round_trips_and_validates(self, tmp_path):
+        plan = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule(
+                    kind="node_crash", rate=0.3, site="cluster.node", sticky=True
+                ),
+                FaultRule(
+                    kind="node_partition", rate=0.1, site="cluster.node"
+                ),
+            ),
+        )
+        path = plan.save(tmp_path / "cluster_plan.json")
+        payload = json.loads(path.read_text())
+        validate_fault_plan(payload)
+        assert FaultPlan.load(path) == plan
 
 
 # --------------------------------------------------------------------------- #

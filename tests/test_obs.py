@@ -210,6 +210,17 @@ class TestSchema:
         with pytest.raises(SchemaError, match=r"\[1\]"):
             obs.validate([1, "x"], schema)
 
+    def test_union_types(self):
+        # nullable fields (e.g. the cluster snapshot's per-cell latency
+        # percentiles) use JSON Schema's list-of-types form
+        schema = {"type": ["number", "null"]}
+        obs.validate(1.5, schema)
+        obs.validate(None, schema)
+        with pytest.raises(SchemaError, match="number|null"):
+            obs.validate("nope", schema)
+        with pytest.raises(SchemaError):
+            obs.validate(True, schema)  # bool is not a number in unions either
+
 
 # --------------------------------------------------------------------------- #
 # trace export

@@ -543,3 +543,107 @@ class TestServeObsCLI:
         capsys.readouterr()
         assert main(["inspect", str(tmp_path / "r.json")]) == 0
         assert "valid serve report" in capsys.readouterr().out
+
+
+class TestLatencySampleCapDrift:
+    """Regression pin: the histogram fallback tracks the raw percentiles.
+
+    Past ``latency_sample_cap`` the raw ``latencies_s`` list stops
+    growing (it holds only the first ``cap`` samples — biased), so
+    ``latency_percentiles()`` must switch to the latency histogram,
+    which keeps observing the *full* population.  The estimates are then
+    allowed to drift by at most one histogram bucket (16 buckets per
+    decade: a factor of 10^(1/16)) from the exact order statistics over
+    every answered request.
+    """
+
+    #: one histogram bucket of slack, both directions
+    BUCKET = 10.0 ** (1.0 / 16.0)
+
+    def _run(self, cap):
+        config = serve_config(latency_sample_cap=cap, result_cache=0)
+        service = TopKService(config)
+        spec = LoadSpec(
+            qps=300.0, duration_s=1.0, n=1 << 14, k=32,
+            payload_pool=256, seed=2,
+        )
+        stats = service.run(build_requests(spec))
+        raw = [
+            o.latency_s for o in service.outcomes if o.latency_s is not None
+        ]
+        return stats, raw
+
+    def test_histogram_keeps_full_population_past_the_cap(self):
+        stats, raw = self._run(cap=16)
+        assert len(raw) > 16
+        assert stats.latency_truncated
+        assert len(stats.latencies_s) == 16
+        assert stats.latency_hist.count == len(raw)
+
+    def test_percentiles_agree_within_one_bucket(self):
+        stats, raw = self._run(cap=16)
+        assert stats.latency_truncated
+        qs = (50.0, 90.0, 95.0, 99.0)
+        estimates = stats.latency_percentiles(qs)
+        for q in qs:
+            exact = float(np.percentile(raw, q))
+            estimate = estimates[q]
+            assert estimate is not None
+            if exact <= 0.0:
+                # zero-latency percentiles sit in the first bucket: the
+                # estimate may be anywhere inside it
+                assert 0.0 <= estimate <= LATENCY_EDGES[0]
+            else:
+                assert exact / self.BUCKET <= estimate <= exact * self.BUCKET
+
+    def test_uncapped_percentiles_stay_exact(self):
+        stats, raw = self._run(cap=None)
+        assert not stats.latency_truncated
+        assert len(stats.latencies_s) == len(raw)
+        estimates = stats.latency_percentiles((50.0, 99.0))
+        assert estimates[50.0] == percentile(raw, 50.0)
+        assert estimates[99.0] == percentile(raw, 99.0)
+
+    def test_truncated_raw_list_would_drift(self):
+        # the hazard the fallback exists for: the first-cap-samples list
+        # is arrival-ordered, not representative — pin that it disagrees
+        # with the full population so the fallback stays load-bearing
+        stats, raw = self._run(cap=16)
+        biased = percentile(stats.latencies_s, 99.0)
+        exact = float(np.percentile(raw, 99.0))
+        estimate = stats.latency_percentiles((99.0,))[99.0]
+        assert abs(estimate - exact) < abs(biased - exact)
+
+    def test_cluster_stats_share_the_contract(self):
+        from repro.cluster import ClusterConfig, ClusterRouter
+
+        rng = np.random.default_rng(31)
+        config = ClusterConfig(
+            nodes=2,
+            replication=2,
+            latency_sample_cap=8,
+            node_config=serve_config(),
+        )
+        router = ClusterRouter(config)
+        requests = [
+            Request(
+                rid=i,
+                data=rng.standard_normal(1 << 12).astype(np.float32),
+                k=16,
+                largest=True,
+                arrival_s=0.05 * i,
+            )
+            for i in range(32)
+        ]
+        stats = router.run(requests)
+        raw = [
+            o.latency_s for o in router.outcomes if o.latency_s is not None
+        ]
+        assert stats.latency_truncated
+        assert stats.latency_hist.count == len(raw)
+        for q, estimate in stats.latency_percentiles((50.0, 99.0)).items():
+            exact = float(np.percentile(raw, q))
+            if exact <= 0.0:
+                assert 0.0 <= estimate <= LATENCY_EDGES[0]
+            else:
+                assert exact / self.BUCKET <= estimate <= exact * self.BUCKET
