@@ -31,11 +31,14 @@ class AutoTopK(TopKAlgorithm):
     max_k = None
     batched_execution = True
 
-    def __init__(self, *, candidates=None, calibration=None) -> None:
+    def __init__(self, *, candidates=None, calibration=None, corrections=None) -> None:
         """``candidates`` restricts the dispatch roster (default: every
         predictable concrete algorithm); ``calibration`` is an optional
         :class:`repro.perf.calibration.CalibrationCache` (or a path to one
-        saved as JSON) refining the analytic predictions."""
+        saved as JSON) refining the analytic predictions; ``corrections``
+        is an optional :class:`repro.perf.adaptive.CorrectionStore` (or a
+        path to one) whose folded drift residuals rescale them — the
+        online half of the loop (docs/adaptive.md)."""
         from ..perf.costmodel import PREDICTABLE_ALGORITHMS
 
         if candidates is not None:
@@ -52,6 +55,13 @@ class AutoTopK(TopKAlgorithm):
 
             calibration = CalibrationCache.load(calibration)
         self.calibration = calibration
+        if isinstance(corrections, (str, bytes)) or hasattr(
+            corrections, "__fspath__"
+        ):
+            from ..perf.adaptive import CorrectionStore
+
+            corrections = CorrectionStore.load(corrections)
+        self.corrections = corrections
         #: registry name of the algorithm the most recent run dispatched to
         self.last_choice: str | None = None
         #: full prediction ranking behind the most recent dispatch
@@ -78,6 +88,21 @@ class AutoTopK(TopKAlgorithm):
             candidates=self.candidates,
             calibration=self.calibration,
         )
+        if self.corrections is not None:
+            from ..perf.adaptive import corrected_ranking
+
+            if spec is None:
+                from ..device import A100
+
+                spec = A100
+            self.last_ranking = corrected_ranking(
+                self.last_ranking,
+                self.corrections,
+                n=n,
+                k=k,
+                batch=batch,
+                spec_name=spec.name,
+            )
         return self.last_ranking[0].algo
 
     # ------------------------------------------------------------------ #

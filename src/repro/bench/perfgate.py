@@ -39,7 +39,7 @@ DEFAULT_TOLERANCE = 0.25
 
 #: algorithms with a per-row reference path selectable via
 #: ``params={"fused": False}``
-FUSED_ALGORITHMS = ("air_topk", "bucket_select")
+FUSED_ALGORITHMS = ("air_topk", "bucket_select", "quick_select", "sample_select")
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,8 @@ PINNED_GRID: tuple[GateCell, ...] = (
     GateCell("air_topk", 1024, 16, 100),
     GateCell("bucket_select", 2048, 16, 100),
     GateCell("bucket_select", 2048, 64, 100),
+    GateCell("quick_select", 2048, 16, 100),
+    GateCell("sample_select", 2048, 16, 100),
     GateCell("grid_select", 1 << 16, 64, 100),
     GateCell("air_topk", 1 << 18, 256, 1),
     GateCell("sort", 1 << 14, 64, 16, hot=False),

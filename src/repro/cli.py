@@ -354,6 +354,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="host threads for sharded execution's numpy fan-out (never "
         "changes outcomes or the serve report)",
     )
+    p_serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable online adaptive dispatch: fold each batch's measured "
+        "time back into per-regime cost-model corrections and explore "
+        "alternative algorithms epsilon-greedily (needs --algo auto and "
+        "--metrics/--trace telemetry; see docs/adaptive.md)",
+    )
+    p_serve.add_argument(
+        "--corrections",
+        default=None,
+        metavar="PATH",
+        help="with --adaptive: persist the learned correction store "
+        "(repro.perf.corrections/v1) here after the run; if the file "
+        "exists it seeds the store, so successive runs keep learning",
+    )
     add_logging(p_serve)
     add_telemetry(p_serve)
 
@@ -536,6 +552,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure and report without gating",
     )
     add_logging(p_cb)
+
+    p_ab = sub.add_parser(
+        "adapt-bench",
+        help="regret bench of online adaptive dispatch: replay a decision "
+        "stream with a mid-run device-spec shift and gate the adaptive "
+        "dispatcher's post-shift cumulative regret against static "
+        "cost-model dispatch (plus byte-identity and no-telemetry no-op)",
+    )
+    p_ab.add_argument(
+        "--gpu",
+        choices=sorted(PRESETS),
+        default="A100",
+        help="the board the cost model believes it is on",
+    )
+    p_ab.add_argument(
+        "--gpu-shift",
+        choices=sorted(PRESETS),
+        default="V100",
+        help="the board the device silently becomes mid-stream",
+    )
+    p_ab.add_argument("--seed", type=int, default=0)
+    p_ab.add_argument(
+        "--decisions",
+        type=int,
+        default=None,
+        help="length of the dispatch decision stream (default 240, "
+        "tiny 80); the shift lands halfway",
+    )
+    p_ab.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the repro.bench.adapt/v1 snapshot JSON here",
+    )
+    p_ab.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the reduced smoke grid instead of the pinned regimes",
+    )
+    p_ab.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and report without gating",
+    )
+    add_logging(p_ab)
 
     p_ins = sub.add_parser(
         "inspect",
@@ -964,6 +1025,20 @@ def cmd_serve_bench(args) -> int:
         approx_fraction=args.approx_fraction if args.min_recall else 0.0,
         seed=args.seed,
     )
+    store = None
+    if args.adaptive:
+        if args.algo != "auto":
+            logger.error("--adaptive requires --algo auto")
+            return 2
+        from .perf.adaptive import CorrectionStore
+
+        if args.corrections and Path(args.corrections).exists():
+            store = CorrectionStore.load(args.corrections)
+            logger.info(
+                "seeded correction store from %s (%d corrections)",
+                args.corrections,
+                len(store),
+            )
     config = ServeConfig(
         algo=args.algo,
         device=args.gpu,
@@ -975,6 +1050,8 @@ def cmd_serve_bench(args) -> int:
         faults=plan,
         window_s=args.window_ms / 1e3,
         workers=args.serve_workers,
+        adaptive=args.adaptive,
+        corrections=store,
     )
     started = time.perf_counter()
     with _telemetry_session(args) as (tracer, _registry):
@@ -991,6 +1068,20 @@ def cmd_serve_bench(args) -> int:
             )
     wall = time.perf_counter() - started
     print(report.format())
+    if args.adaptive:
+        s = report.stats
+        print(
+            f"adaptation: observations={s.adapt_observations} "
+            f"folds={s.adapt_folds} explored={s.adapt_explored}"
+            + (
+                ""
+                if s.adapt_observations
+                else "  (inactive: no metrics session — pass --metrics)"
+            )
+        )
+        if args.corrections and service.adaptation is not None:
+            path = service.adaptation.corrections.save(args.corrections)
+            logger.info("wrote correction store to %s", path)
 
     slos = obs.DEFAULT_SLOS
     if args.slo and args.slo != "default":
@@ -1335,6 +1426,63 @@ def cmd_recall_bench(args) -> int:
     return 0
 
 
+def cmd_adapt_bench(args) -> int:
+    from .bench import adaptbench
+
+    if args.gpu_shift == args.gpu:
+        logger.error("--gpu-shift must differ from --gpu")
+        return 2
+    regimes = (
+        adaptbench.TINY_REGIMES if args.tiny else adaptbench.DEFAULT_REGIMES
+    )
+    decisions = args.decisions or (80 if args.tiny else 240)
+    logger.info(
+        "adapt-bench: %d regimes x %d candidates, %d decisions, "
+        "%s -> %s shift at %d",
+        len(regimes),
+        len(adaptbench.CANDIDATES),
+        decisions,
+        args.gpu,
+        args.gpu_shift,
+        decisions // 2,
+    )
+
+    def show(cell, entry) -> None:
+        logger.info(
+            "n=%d k=%d batch=%d: static %s, oracle %s -> %s%s",
+            cell.n,
+            cell.k,
+            cell.batch,
+            entry["static_algo"],
+            entry["oracle_pre"],
+            entry["oracle_post"],
+            " (flip)" if entry["oracle_pre"] != entry["oracle_post"] else "",
+        )
+
+    snapshot = adaptbench.collect_snapshot(
+        regimes,
+        gpu=args.gpu,
+        gpu_shift=args.gpu_shift,
+        seed=args.seed,
+        decisions=decisions,
+        progress=show,
+    )
+    print(adaptbench.render_adapt_report(snapshot))
+    if args.out:
+        path = adaptbench.write_snapshot(snapshot, args.out)
+        print(f"snapshot: {path}")
+    if args.no_gate:
+        return 0
+    failures = adaptbench.gate_adapt(snapshot)
+    for line in failures:
+        print(f"GATE FAIL: {line}")
+    if failures:
+        logger.error("%d adapt-gate failure(s)", len(failures))
+        return 1
+    print("adapt gate: ok")
+    return 0
+
+
 def cmd_cluster_bench(args) -> int:
     from .bench import clusterbench
     from .faults import FaultPlan
@@ -1510,6 +1658,31 @@ def cmd_inspect(args) -> int:
             f"gate {'FAIL' if failures else 'ok'})"
         )
         return 0
+    if schema == "repro.bench.adapt/v1":
+        from .bench.adaptbench import SNAPSHOT_SCHEMA, gate_adapt
+
+        obs.schema.validate(payload, SNAPSHOT_SCHEMA)
+        failures = gate_adapt(payload)
+        ratio = payload["post_shift"]["ratio"]
+        print(
+            f"{path}: valid adapt-bench snapshot "
+            f"({len(payload['regimes'])} regimes, "
+            f"{payload['gpu']} -> {payload['gpu_shift']}, "
+            f"post-shift ratio "
+            f"{'inf' if ratio is None else f'{ratio:.2f}x'}, "
+            f"gate {'FAIL' if failures else 'ok'})"
+        )
+        return 0
+    if schema == "repro.perf.corrections/v1":
+        from .perf.adaptive import CORRECTIONS_SCHEMA
+
+        obs.schema.validate(payload, CORRECTIONS_SCHEMA)
+        print(
+            f"{path}: valid correction store "
+            f"({len(payload['corrections'])} corrections, "
+            f"{payload['folds']} folds, epoch {payload['epoch']})"
+        )
+        return 0
     if schema == "repro.obs.slo/v1":
         obs.validate_slo_spec(payload)
         print(f"{path}: valid SLO spec ({len(payload['slos'])} objectives)")
@@ -1557,6 +1730,7 @@ COMMANDS = {
     "drift": cmd_drift,
     "perf-bench": cmd_perf_bench,
     "recall-bench": cmd_recall_bench,
+    "adapt-bench": cmd_adapt_bench,
     "cluster-bench": cmd_cluster_bench,
     "inspect": cmd_inspect,
 }

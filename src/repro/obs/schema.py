@@ -264,6 +264,9 @@ _SERVE_WINDOW_SCHEMA = {
         "approx": {"type": "integer"},
         "recall_requests": {"type": "integer"},
         "recall_met": {"type": "integer"},
+        "adapt_observations": {"type": "integer"},
+        "adapt_folds": {"type": "integer"},
+        "adapt_explored": {"type": "integer"},
     },
 }
 
@@ -318,6 +321,9 @@ SERVE_REPORT_SCHEMA = {
                 "faults": {"type": "object"},
                 "approx_served": {"type": "integer"},
                 "recall_violations": {"type": "integer"},
+                "adapt_observations": {"type": "integer"},
+                "adapt_folds": {"type": "integer"},
+                "adapt_explored": {"type": "integer"},
             },
         },
         "slos": {

@@ -156,6 +156,11 @@ class WindowAccum:
     #: good/total events
     recall_requests: int = 0
     recall_met: int = 0
+    #: online-adaptation activity (docs/adaptive.md): batches fed back
+    #: into the learner, correction folds triggered, exploration picks
+    adapt_observations: int = 0
+    adapt_folds: int = 0
+    adapt_explored: int = 0
 
     @property
     def requests(self) -> int:
@@ -258,6 +263,19 @@ class ServeTelemetry:
 
     def on_breaker(self, t_s: float, count: int = 1) -> None:
         self.window(t_s).breaker += count
+
+    def on_adaptation(
+        self,
+        t_s: float,
+        *,
+        observations: int = 0,
+        folds: int = 0,
+        explored: int = 0,
+    ) -> None:
+        accum = self.window(t_s)
+        accum.adapt_observations += observations
+        accum.adapt_folds += folds
+        accum.adapt_explored += explored
 
     # -- virtual-time spans ---------------------------------------------- #
     @staticmethod
@@ -490,6 +508,9 @@ def _window_payload(accum: WindowAccum, window_s: float) -> dict:
         "approx": accum.approx,
         "recall_requests": accum.recall_requests,
         "recall_met": accum.recall_met,
+        "adapt_observations": accum.adapt_observations,
+        "adapt_folds": accum.adapt_folds,
+        "adapt_explored": accum.adapt_explored,
     }
 
 
@@ -546,6 +567,9 @@ def build_serve_report(
         "breaker_trips": stats.breaker_trips,
         "approx_served": stats.approx_served,
         "recall_violations": stats.recall_violations,
+        "adapt_observations": stats.adapt_observations,
+        "adapt_folds": stats.adapt_folds,
+        "adapt_explored": stats.adapt_explored,
     }
     slo_results = evaluate_slos(accums, slos)
     report = {
@@ -614,6 +638,11 @@ def render_serve_report(report: dict) -> str:
         lines.append(
             f"  quality: approx_served={totals['approx_served']} "
             f"recall_violations={totals['recall_violations']}"
+        )
+    if totals.get("adapt_observations"):
+        lines.append(
+            f"  adaptation: observations={totals['adapt_observations']} "
+            f"folds={totals['adapt_folds']} explored={totals['adapt_explored']}"
         )
 
     def series(key) -> list:

@@ -24,9 +24,17 @@ __all__ = [
     "ridge_intensity",
     "roofline_points",
     "render_roofline",
+    "AdaptiveDispatcher",
+    "CorrectionStore",
+    "DispatchDecision",
+    "corrected_ranking",
 ]
 
 _LAZY = {
+    "AdaptiveDispatcher": "adaptive",
+    "CorrectionStore": "adaptive",
+    "DispatchDecision": "adaptive",
+    "corrected_ranking": "adaptive",
     "RooflinePoint": "roofline",
     "ridge_intensity": "roofline",
     "roofline_points": "roofline",

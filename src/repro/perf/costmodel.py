@@ -299,47 +299,101 @@ def _predict_radix_select(
     return batch * per_row
 
 
-def _predict_partition_family(
-    model: KernelCostModel,
-    spec,
-    n: int,
-    k: int,
-    batch: int,
-    *,
-    shrink: float,
-    extra_ops_per_elem: float = 0.0,
-    extra_per_iter: float = 0.0,
+def _partition_terminal_time(
+    model: KernelCostModel, spec, count: float, k: int, batch: int
 ) -> float:
-    """Shared shape of QuickSelect / BucketSelect / SampleSelect.
+    """Shared terminal bitonic sort of the partition family: one block per
+    row still owing results, priced at the fused survivor count."""
+    comps = _sort_comparators(2 ** math.ceil(math.log2(max(2.0, count))))
+    t = model.price(
+        LaunchShape(batch, 256),
+        bytes_read=8.0 * count * batch,
+        bytes_written=8.0 * k * batch,
+        flops=cal.OPS_PER_COMPARATOR * batch * comps,
+    ).duration
+    return t + spec.kernel_launch_latency + spec.sync_latency
 
-    Each iteration scans the surviving candidates, partitions them (pivot /
-    256 buckets / sampled splitters), ships a histogram to the host and
-    recurses into the bucket holding the k-th element; ``shrink`` is the
-    expected survivor fraction per iteration.
+
+def _predict_quick_select(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """Fused batched QuickSelect: one count+scatter launch pair per
+    recursion level over the concatenated survivors of every active row.
+
+    The host round trip (sync, batched count transfer, per-row pivot picks)
+    is paid once per *level*, not once per row; the expected survivor
+    fraction of a median-of-three pivot is 1/2.
     """
-    per_row = cal.HOST_ALLOC_SECONDS
+    terminal = 1024.0
+    t = cal.HOST_ALLOC_SECONDS
     count = float(n)
-    while True:
-        shape = _stream_shape(spec, count)
-        per_row += model.price(
-            shape,
-            bytes_read=4.0 * count,
-            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * max(k, count * shrink),
-            flops=(cal.PARTITION_OPS_PER_ELEM + extra_ops_per_elem) * count,
+    while count > max(terminal, float(k)):
+        total = count * batch
+        shape = _stream_shape(spec, total)
+        t += model.price(  # QuickSelectCount: pivot-comparison tallies
+            shape, bytes_read=4.0 * total, bytes_written=8.0 * batch,
+            flops=2.0 * total,
         ).duration
-        per_row += (
-            spec.sync_latency
-            + model.pcie_time(256 * 4.0)
-            + cal.HOST_SCAN_SECONDS
-            + cal.HOST_PIVOT_SECONDS
-            + 2 * spec.kernel_launch_latency
-            + extra_per_iter
-        )
-        nxt = count * shrink
-        if nxt <= k or count <= k:
-            break
-        count = nxt
-    return batch * per_row
+        t += model.price(  # QuickSelectScatter partitions the candidates
+            shape,
+            bytes_read=8.0 * total,
+            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * total,
+            flops=cal.PARTITION_OPS_PER_ELEM * total,
+        ).duration
+        # host coordination once per level, not once per row
+        t += 2 * spec.kernel_launch_latency + 2 * spec.sync_latency
+        t += model.pcie_time(8.0 * batch)  # per-row counts
+        t += cal.HOST_PIVOT_SECONDS * batch
+        count = max(float(k), count * 0.5)
+    return t + _partition_terminal_time(model, spec, count, k, batch)
+
+
+def _predict_sample_select(
+    model: KernelCostModel, spec, n: int, k: int, batch: int
+) -> float:
+    """Fused batched SampleSelect: per iteration, one block-per-row sample
+    sort, a splitter-search histogram over the flat candidates, a batched
+    histogram PCIe transfer + host scan, an offset scan and the filtering
+    scatter — 256 splitter buckets shrink the survivors by ~1/256."""
+    buckets = 256
+    terminal = 1024.0
+    sample_comps = _sort_comparators(1024.0)
+    t = cal.HOST_ALLOC_SECONDS
+    count = float(n)
+    while count > max(terminal, float(k)):
+        total = count * batch
+        shape = _stream_shape(spec, total)
+        s = min(1024.0, count)
+        t += model.price(  # SampleGatherSort: one block per row
+            LaunchShape(batch, 256),
+            bytes_read=4.0 * s * batch,
+            bytes_written=4.0 * (buckets - 1) * batch,
+            flops=cal.OPS_PER_COMPARATOR * sample_comps * batch,
+        ).duration
+        t += model.price(  # SplitterHistogram over the flat candidates
+            shape,
+            bytes_read=4.0 * total,
+            bytes_written=batch * buckets * 4.0,
+            flops=cal.SPLITTER_SEARCH_OPS_PER_ELEM * total,
+        ).duration
+        t += model.price(  # ScanBucketOffsets: one block per active row
+            LaunchShape(batch, 256),
+            bytes_read=batch * buckets * 4.0,
+            bytes_written=batch * buckets * 4.0,
+            flops=float(batch * buckets * 8),
+        ).duration
+        t += model.price(  # SampleFilter scatters into grouped buckets
+            shape,
+            bytes_read=8.0 * total,
+            bytes_written=cal.SCATTER_WRITE_PENALTY * 8.0 * total,
+            flops=cal.FILTER_OPS_PER_ELEM * total,
+        ).duration
+        # host coordination once per iteration, not once per row
+        t += 4 * spec.kernel_launch_latency + 3 * spec.sync_latency
+        t += model.pcie_time(batch * buckets * 4.0)  # histograms
+        t += cal.HOST_SCAN_SECONDS * batch
+        count = max(float(k), count / buckets)
+    return t + _partition_terminal_time(model, spec, count, k, batch)
 
 
 def _predict_bucket_select(
@@ -640,23 +694,11 @@ def _predict(algo: str, model: KernelCostModel, spec, n: int, k: int, batch: int
     if algo == "radix_select":
         return _predict_radix_select(model, spec, n, k, batch)
     if algo == "quick_select":
-        return _predict_partition_family(model, spec, n, k, batch, shrink=0.5)
+        return _predict_quick_select(model, spec, n, k, batch)
     if algo == "bucket_select":
         return _predict_bucket_select(model, spec, n, k, batch)
     if algo == "sample_select":
-        return _predict_partition_family(
-            model,
-            spec,
-            n,
-            k,
-            batch,
-            shrink=1 / 256,
-            extra_ops_per_elem=cal.SPLITTER_SEARCH_OPS_PER_ELEM,
-            extra_per_iter=model.price(
-                LaunchShape(1, 256), bytes_read=4.0 * 1024,
-                flops=cal.SORT_PASS_OPS_PER_ELEM * 1024,
-            ).duration,
-        )
+        return _predict_sample_select(model, spec, n, k, batch)
     if algo == "warp_select":
         return _predict_thread_queue(model, spec, n, k, batch, lanes=32)
     if algo == "block_select":

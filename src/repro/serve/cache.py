@@ -116,6 +116,12 @@ class ServeCache:
     def __init__(self, *, result_capacity: int = 256, plan_capacity: int = 64):
         self.results = LRUCache(result_capacity)
         self.plans = LRUCache(plan_capacity)
+        #: optional :class:`repro.perf.adaptive.CorrectionStore`; when set,
+        #: plan keys carry the regime's correction epoch, so a folded-in
+        #: correction invalidates exactly the plans whose cost-model
+        #: inputs changed — untouched regimes keep hitting (the PR-10
+        #: staleness fix, pinned by tests/test_adaptive.py)
+        self.corrections = None
         #: entries that failed their integrity checksum on read (each one
         #: was evicted and re-fetched — see :meth:`get_result`)
         self.corruptions = 0
@@ -145,8 +151,17 @@ class ServeCache:
         spec_name: str,
         largest: bool,
         min_recall: float | None = None,
+        dtype: str = "float32",
     ) -> tuple:
-        return (n, k, _batch_bucket(batch), spec_name, largest, min_recall)
+        epoch = 0
+        if self.corrections is not None:
+            epoch = self.corrections.regime_epoch(
+                n=n, k=k, batch=batch, spec_name=spec_name, dtype=dtype
+            )
+        return (
+            n, k, _batch_bucket(batch), spec_name, largest, min_recall,
+            dtype, epoch,
+        )
 
     def get_plan(self, **key_fields) -> DispatchPlan | None:
         return self.plans.get(self.plan_key(**key_fields))
@@ -164,6 +179,7 @@ class ServeCache:
         largest: bool,
         min_recall: float | None = None,
         calibration=None,
+        dtype: str = "float32",
     ) -> tuple[DispatchPlan, bool]:
         """Fetch or compute the plan for a shape; returns (plan, was_hit).
 
@@ -183,6 +199,7 @@ class ServeCache:
             spec_name=spec.name,
             largest=largest,
             min_recall=min_recall,
+            dtype=dtype,
         )
         plan = self.get_plan(**fields)
         if plan is not None:
@@ -218,6 +235,18 @@ class ServeCache:
                 spec=spec,
                 calibration=calibration,
             )
+            if self.corrections is not None:
+                from ..perf.adaptive import corrected_ranking
+
+                ranking = corrected_ranking(
+                    ranking,
+                    self.corrections,
+                    n=n,
+                    k=k,
+                    batch=_batch_bucket(batch),
+                    spec_name=spec.name,
+                    dtype=dtype,
+                )
             plan = DispatchPlan(
                 algo=ranking[0].algo,
                 ranking=tuple((p.algo, p.time) for p in ranking),

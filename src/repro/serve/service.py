@@ -110,6 +110,21 @@ class ServeConfig:
     #: detections, bypassing the cache for `breaker_cooldown_s`
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 0.25
+    #: online adaptation (docs/adaptive.md): fold each executed batch's
+    #: drift residual into a per-regime correction on the cost model and
+    #: explore alternative algorithms epsilon-greedily.  Requires
+    #: ``algo="auto"`` and an active metrics session — with telemetry off
+    #: the whole path is a strict no-op (pinned by tests/test_adaptive.py)
+    adaptive: bool = False
+    #: exploration probability of the adaptive dispatcher
+    adapt_epsilon: float = 0.1
+    #: residuals accumulated per regime before a correction folds in
+    adapt_min_window: int = 8
+    #: seed of the pure exploration draws; None reuses ``seed``
+    adapt_seed: int | None = None
+    #: optional pre-built :class:`repro.perf.adaptive.CorrectionStore`
+    #: shared across services (cluster nodes) or loaded from a prior run
+    corrections: object = None
 
 
 @dataclass
@@ -176,6 +191,12 @@ class ServeStats:
     #: expected recall fell below it — zero by planner construction
     #: unless a fixed-algo config overrides the quality dispatch
     recall_violations: int = 0
+    #: adaptation activity (zero without ``ServeConfig.adaptive`` + an
+    #: active metrics session): batch residuals fed back, correction
+    #: folds triggered, and exploration overrides taken
+    adapt_observations: int = 0
+    adapt_folds: int = 0
+    adapt_explored: int = 0
 
     @property
     def total(self) -> int:
@@ -265,6 +286,26 @@ class TopKService:
             threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s,
         )
+        #: the online learner; None unless the config opts in.  The
+        #: correction store also hooks the plan cache so plan keys carry
+        #: each regime's correction epoch (stale plans miss, not serve)
+        self.adaptation = None
+        if self.config.adaptive:
+            from ..perf.adaptive import AdaptiveDispatcher, CorrectionStore
+
+            store = self.config.corrections
+            if store is None:
+                store = CorrectionStore(min_window=self.config.adapt_min_window)
+            self.adaptation = AdaptiveDispatcher(
+                corrections=store,
+                epsilon=self.config.adapt_epsilon,
+                seed=(
+                    self.config.adapt_seed
+                    if self.config.adapt_seed is not None
+                    else self.config.seed
+                ),
+            )
+            self.cache.corrections = store
         self.outcomes: list[Outcome] = []
         self.batch_records: list[BatchRecord] = []
         #: windowed telemetry + request-span buffer; span recording is
@@ -667,6 +708,7 @@ class TopKService:
         algo, plan_hit = cfg.algo, False
         plan_params: dict | None = None
         plan_exact = True
+        explored = False
         if cfg.algo == "auto":
             # the cache hook counts the serve.cache plan_hit/plan_miss;
             # a group carrying a recall target (key.quality) goes through
@@ -679,11 +721,34 @@ class TopKService:
                 spec=self.spec,
                 largest=key.largest,
                 min_recall=key.quality,
+                dtype=key.dtype,
             )
             algo = plan.algo
             plan_exact = plan.exact
             if plan.params:
                 plan_params = dict(plan.params)
+            if (
+                self.adaptation is not None
+                and get_metrics() is not None
+                and plan.exact
+                and key.quality is None
+                and len(plan.ranking) > 1
+            ):
+                # the bandit step over the plan's (already corrected)
+                # ranking: exploit the regime's observed winner, explore
+                # epsilon-greedily via pure seeded draws (workers=1 ==
+                # workers=N, byte-identical replays — docs/adaptive.md)
+                decision = self.adaptation.decide(
+                    plan.ranking,
+                    n=key.n,
+                    k=key.k,
+                    batch=len(alive),
+                    spec_name=self.spec.name,
+                    dtype=key.dtype,
+                    site="serve.dispatch",
+                )
+                algo = decision.algo
+                explored = decision.explored
         batch_id = self._batch_seq
         self._batch_seq += 1
         result, delay_s, attempts, error = self._run_batch(
@@ -789,6 +854,21 @@ class TopKService:
                 exact=result.exact,
             )
         )
+        if (
+            self.adaptation is not None
+            and get_metrics() is not None
+            and cfg.algo == "auto"
+            and not result.degraded
+            and result.exact
+            and not result.meta.get("shard_times_s")
+        ):
+            # feed the measured wall time (including any injected slowdown
+            # — that *is* live drift) back into the learner; sharded and
+            # degraded results measure a different code path and are
+            # excluded so residuals stay attributable to one algorithm
+            self._adapt_feedback(
+                key, len(alive), result.algo, duration_s, start_s, explored
+            )
         result_exact = bool(result.exact)
         expected_recall = result.meta.get("expected_recall", 1.0)
         for row, request in enumerate(alive):
@@ -872,6 +952,68 @@ class TopKService:
                 recall_target=recall_target,
                 recall_met=recall_met,
             )
+
+    # -- online adaptation feedback --------------------------------------- #
+    def _adapt_feedback(
+        self,
+        key: GroupKey,
+        size: int,
+        algo: str,
+        duration_s: float,
+        t_s: float,
+        explored: bool,
+    ) -> None:
+        """Fold one executed batch's measured time into the learner.
+
+        Updates the per-regime EMA and (through the dispatcher's
+        :class:`~repro.perf.adaptive.CorrectionStore`) the windowed
+        residual fold, then emits the same ``costmodel.log2_ratio``
+        drift histogram the offline sweep pipeline produces — so the
+        serve loop and ``repro-topk drift`` read one stream.
+        """
+        registry = get_metrics()
+        if registry is None or self.adaptation is None:
+            return
+        folded = self.adaptation.observe(
+            algo,
+            n=key.n,
+            k=key.k,
+            batch=size,
+            measured_s=duration_s,
+            spec=self.spec,
+            dtype=key.dtype,
+        )
+        self.stats.adapt_observations += 1
+        self._count("serve.adapt", event="observe")
+        if folded:
+            self.stats.adapt_folds += 1
+            self._count("serve.adapt", event="fold")
+        if explored:
+            self.stats.adapt_explored += 1
+            self._count("serve.adapt", event="explore")
+        self.telemetry.on_adaptation(
+            t_s,
+            observations=1,
+            folds=1 if folded else 0,
+            explored=1 if explored else 0,
+        )
+        from types import SimpleNamespace
+
+        from ..obs.drift import record_point_drift
+
+        record_point_drift(
+            registry,
+            SimpleNamespace(
+                algo=algo,
+                n=key.n,
+                k=key.k,
+                batch=size,
+                time=duration_s,
+                status="ok",
+                detail="",
+            ),
+            spec=self.spec,
+        )
 
     # -- request-trace emission ------------------------------------------ #
     def _queued_span(self, request: Request, until_s: float) -> None:

@@ -184,6 +184,40 @@ class TestBatchedDifferential:
         )
 
 
+@pytest.mark.parametrize("largest", (False, True), ids=("smallest", "largest"))
+@pytest.mark.parametrize("algo", ("quick_select", "sample_select"))
+class TestStochasticPartitionLargeN:
+    """At n=512 the stochastic partition family finishes entirely inside
+    its terminal sort fast path; n=8192 forces real recursion/iteration
+    levels, so the fused loop itself (count passes, scatter compaction,
+    splitter histograms, per-row survivor masks) is differentially pinned
+    to the per-row reference byte-for-byte."""
+
+    N_LARGE = 8192
+
+    def test_fused_loop_equals_stacked_single_shot(self, algo, largest):
+        algorithm = get_algorithm(algo)
+        rng = np.random.default_rng(99)
+        for batch in (1, 7):
+            for k in (16, 256):
+                data = rng.standard_normal((batch, self.N_LARGE)).astype(
+                    np.float32
+                )
+                # a heavy-tie row makes pivot/splitter boundaries cut
+                # through duplicates in at least one lane of the batch
+                data[-1] = rng.integers(0, 8, self.N_LARGE).astype(np.float32)
+                res = algorithm.select(data, k, largest=largest, seed=5)
+                for i in range(batch):
+                    single = algorithm.select(
+                        data[i], k, largest=largest, seed=5
+                    )
+                    label = f"{algo} n={self.N_LARGE} batch={batch} k={k} row={i}"
+                    assert (
+                        res.values[i].tobytes() == single.values.tobytes()
+                    ), label
+                    assert np.array_equal(res.indices[i], single.indices), label
+
+
 class TestUnsupportedIsExplicit:
     """Gaps must be declared via supports()/UnsupportedProblem, never
     silently wrong output."""

@@ -36,7 +36,15 @@ settings.load_profile("fused")
 SPEC = get_spec("A100")
 
 #: algorithms with a vectorised (one launch set per pass) batched path
-FUSED = ("air_topk", "bucket_select", "grid_select", "warp_select", "block_select")
+FUSED = (
+    "air_topk",
+    "bucket_select",
+    "grid_select",
+    "warp_select",
+    "block_select",
+    "quick_select",
+    "sample_select",
+)
 
 
 def _batch_data(batch: int, n: int, seed: int) -> np.ndarray:
@@ -126,12 +134,13 @@ class TestBatchedFlagIsTruthful:
                 f"{self.BATCH} vs {single['kernel_launches']} for batch=1"
             )
 
-    def test_bucket_select_flag_follows_fusion(self):
-        assert get_algorithm("bucket_select").batched_execution is True
+    @pytest.mark.parametrize(
+        "algo", ["bucket_select", "quick_select", "sample_select"]
+    )
+    def test_flag_follows_fusion(self, algo):
+        assert get_algorithm(algo).batched_execution is True
         assert (
-            get_algorithm(
-                "bucket_select", params={"fused": False}
-            ).batched_execution
+            get_algorithm(algo, params={"fused": False}).batched_execution
             is False
         )
 
